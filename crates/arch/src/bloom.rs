@@ -1,0 +1,114 @@
+//! Bloom filters over relocation-frame virtual page numbers (paper §4.3.2).
+
+/// A fixed-size bloom filter (Table 2: 1024 bytes = 8192 bits, built during
+/// the summary phase over all relocation pages' VPNs).
+///
+/// False positives are harmless (the PMFT walk returns "not found" and the
+/// access proceeds as a normal PM access, §4.3.2); false negatives never
+/// occur, which the property tests assert.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter of `bytes` (rounded up to a power of two of
+    /// at least 64 bytes).
+    pub fn new(bytes: usize) -> Self {
+        let bits_len = (bytes.max(64).next_power_of_two() / 8).max(8);
+        BloomFilter {
+            bits: vec![0u64; bits_len],
+            mask: (bits_len as u64 * 64) - 1,
+        }
+    }
+
+    fn hashes(&self, key: u64) -> (u64, u64) {
+        // Two independent multiplicative hashes.
+        let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(17) | 1;
+        (h1 & self.mask, (h1.wrapping_add(h2)) & self.mask)
+    }
+
+    /// Inserts a key (a VPN).
+    pub fn insert(&mut self, key: u64) {
+        let (a, b) = self.hashes(key);
+        self.bits[(a / 64) as usize] |= 1 << (a % 64);
+        self.bits[(b / 64) as usize] |= 1 << (b % 64);
+    }
+
+    /// Tests membership: `false` is definite, `true` may be a false positive.
+    pub fn maybe_contains(&self, key: u64) -> bool {
+        let (a, b) = self.hashes(key);
+        self.bits[(a / 64) as usize] >> (a % 64) & 1 == 1
+            && self.bits[(b / 64) as usize] >> (b % 64) & 1 == 1
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits (observability for the sweep bench).
+    pub fn popcount(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut f = BloomFilter::new(1024);
+        for k in [0u64, 1, 42, 1 << 40] {
+            f.insert(k);
+        }
+        for k in [0u64, 1, 42, 1 << 40] {
+            assert!(f.maybe_contains(k));
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(1024);
+        assert!(!f.maybe_contains(7));
+        assert_eq!(f.popcount(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_when_sparse() {
+        let mut f = BloomFilter::new(1024);
+        for k in 0..100u64 {
+            f.insert(k * 13 + 5);
+        }
+        let fps = (10_000..20_000u64).filter(|&k| f.maybe_contains(k)).count();
+        assert!(
+            fps < 200,
+            "false positive rate too high: {fps}/10000 with 100 keys in 8192 bits"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(64);
+        f.insert(3);
+        f.clear();
+        assert!(!f.maybe_contains(3));
+    }
+
+    proptest! {
+        #[test]
+        fn no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let mut f = BloomFilter::new(1024);
+            for &k in &keys {
+                f.insert(k);
+            }
+            for &k in &keys {
+                prop_assert!(f.maybe_contains(k));
+            }
+        }
+    }
+}

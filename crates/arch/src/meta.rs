@@ -1,0 +1,124 @@
+//! Layout of the GC metadata arena inside a pool's reserved meta region.
+
+use ffccd_pmop::PoolLayout;
+
+/// Where each persistent GC structure lives inside the pool's metadata
+/// region (all offsets are pool byte offsets).
+///
+/// ```text
+/// cycle_header   64 B   GC cycle state word + bookkeeping
+/// reached_base   num_frames × 8 B    reached bitmap (1 bit / cacheline)
+/// moved_base     num_frames × 32 B   moved bitmap   (1 bit / 16 B slot)
+/// pmft_base      num_frames × 320 B  PM-aware forwarding table entries
+/// ```
+///
+/// Everything is direct-mapped by frame index, so lookups never search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcMetaLayout {
+    /// Offset of the 64-byte GC cycle header.
+    pub cycle_header: u64,
+    /// Start of the reached bitmap (one `u64` per frame).
+    pub reached_base: u64,
+    /// Start of the moved bitmaps (32 bytes per frame).
+    pub moved_base: u64,
+    /// Start of the PMFT entries (320 bytes per frame).
+    pub pmft_base: u64,
+    /// Start of the relocation-frame bitmap (1 bit per frame) — the
+    /// software `is_frag_page` table the non-checklookup barriers consult.
+    pub fragmap_base: u64,
+    /// Number of frames covered.
+    pub num_frames: u64,
+    /// Start of the pool's data region (for offset→frame math).
+    pub data_start: u64,
+}
+
+/// Bytes of one moved bitmap (256 slots / 8).
+pub const MOVED_BITMAP_BYTES: u64 = 32;
+
+impl GcMetaLayout {
+    /// Derives the metadata layout from a pool layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's reserved metadata region is too small (cannot
+    /// happen for layouts produced by [`PoolLayout::compute`]).
+    pub fn from_pool(pool: &PoolLayout) -> Self {
+        let nf = pool.num_frames;
+        let cycle_header = pool.meta_start;
+        let reached_base = cycle_header + 64;
+        let moved_base = reached_base + nf * 8;
+        let pmft_base = moved_base + nf * MOVED_BITMAP_BYTES;
+        let fragmap_base = pmft_base + nf * crate::pmft::PMFT_ENTRY_BYTES;
+        let end = fragmap_base + nf.div_ceil(8);
+        assert!(
+            end <= pool.meta_start + pool.meta_len,
+            "metadata region too small: need {end}, have {}",
+            pool.meta_start + pool.meta_len
+        );
+        GcMetaLayout {
+            cycle_header,
+            reached_base,
+            moved_base,
+            pmft_base,
+            fragmap_base,
+            num_frames: nf,
+            data_start: pool.data_start,
+        }
+    }
+
+    /// Offset of the byte holding `frame`'s bit in the relocation bitmap.
+    pub fn fragmap_byte(&self, frame: u64) -> u64 {
+        debug_assert!(frame < self.num_frames);
+        self.fragmap_base + frame / 8
+    }
+
+    /// Offset of the reached-bitmap word for `frame`.
+    pub fn reached_word(&self, frame: u64) -> u64 {
+        debug_assert!(frame < self.num_frames);
+        self.reached_base + frame * 8
+    }
+
+    /// Offset of the moved bitmap for `frame`.
+    pub fn moved_bitmap(&self, frame: u64) -> u64 {
+        debug_assert!(frame < self.num_frames);
+        self.moved_base + frame * MOVED_BITMAP_BYTES
+    }
+
+    /// Offset of the PMFT entry for relocation frame `frame`.
+    pub fn pmft_entry(&self, frame: u64) -> u64 {
+        debug_assert!(frame < self.num_frames);
+        self.pmft_base + frame * crate::pmft::PMFT_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_fit() {
+        let pool = PoolLayout::compute(1 << 20, 4096);
+        let m = GcMetaLayout::from_pool(&pool);
+        assert!(m.cycle_header >= pool.meta_start);
+        assert!(m.reached_base >= m.cycle_header + 64);
+        assert!(m.moved_base >= m.reached_base + m.num_frames * 8);
+        assert!(m.pmft_base >= m.moved_base + m.num_frames * 32);
+        assert!(m.fragmap_base >= m.pmft_base + m.num_frames * crate::pmft::PMFT_ENTRY_BYTES);
+        assert!(
+            m.fragmap_byte(m.num_frames - 1) < pool.meta_start + pool.meta_len
+        );
+        assert!(pool.meta_start + pool.meta_len <= pool.data_start);
+    }
+
+    #[test]
+    fn per_frame_offsets_are_strided() {
+        let pool = PoolLayout::compute(1 << 20, 4096);
+        let m = GcMetaLayout::from_pool(&pool);
+        assert_eq!(m.reached_word(1) - m.reached_word(0), 8);
+        assert_eq!(m.moved_bitmap(1) - m.moved_bitmap(0), 32);
+        assert_eq!(
+            m.pmft_entry(1) - m.pmft_entry(0),
+            crate::pmft::PMFT_ENTRY_BYTES
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The `relocate` instruction (paper §4.1–4.2).
+//!
+//! `relocate (y, x)` copies like `mov` but additionally tags every written
+//! destination cacheline with the *pending* bit, so the memory controller's
+//! [`crate::Rbb`] can record — asynchronously and without any fence — when
+//! each line actually reaches persistence. The instruction is wrapped in a
+//! `pmemcpy()` API by the paper; [`relocate`] is that wrapper: it splits
+//! copies at frame boundaries (the ISA limits one page per side).
+
+use ffccd_pmem::{Ctx, PmEngine};
+
+/// Copies `len` bytes from pool offset `src` to `dst`, tagging destination
+/// lines as pending. Issues no `clwb`/`sfence`.
+///
+/// Charges the RBB access latency once per instruction (Table 2: 30 cycles)
+/// plus the normal load/store traffic. Copies crossing a 4 KiB frame
+/// boundary are split into multiple instructions, as the hardware requires
+/// at most one page per source and destination.
+///
+/// # Panics
+///
+/// Panics if either range leaves the engine's media.
+pub fn relocate(ctx: &mut Ctx, engine: &PmEngine, src: u64, dst: u64, len: u64) {
+    let mut copied = 0u64;
+    while copied < len {
+        let remaining = len - copied;
+        // Split so neither side crosses a frame boundary.
+        let src_room = 4096 - (src + copied) % 4096;
+        let dst_room = 4096 - (dst + copied) % 4096;
+        let chunk = remaining.min(src_room).min(dst_room);
+        ctx.stats.relocates += 1;
+        ctx.charge(engine.config().rbb_latency);
+        let data = engine.read_vec(ctx, src + copied, chunk);
+        engine.write_pending(ctx, dst + copied, &data);
+        copied += chunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffccd_pmem::MachineConfig;
+
+    fn engine() -> PmEngine {
+        PmEngine::new(
+            MachineConfig {
+                evict_denom: u32::MAX, // no background eviction: stay volatile
+                ..MachineConfig::default()
+            },
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn copies_bytes() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 100, &[1, 2, 3, 4, 5]);
+        relocate(&mut ctx, &e, 100, 8192, 5);
+        assert_eq!(e.read_vec(&mut ctx, 8192, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn issues_no_fences() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[9; 128]);
+        let (clwbs, sfences) = (ctx.stats.clwbs, ctx.stats.sfences);
+        relocate(&mut ctx, &e, 0, 4096, 128);
+        assert_eq!(ctx.stats.clwbs, clwbs);
+        assert_eq!(ctx.stats.sfences, sfences);
+        assert!(ctx.stats.relocates >= 1);
+    }
+
+    #[test]
+    fn destination_stays_volatile_until_evicted() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[7; 64]);
+        relocate(&mut ctx, &e, 0, 4096, 64);
+        let img = e.crash_image();
+        assert_eq!(
+            img.media().read_vec(4096, 64),
+            vec![0; 64],
+            "fence-free copy must not be durable before eviction"
+        );
+    }
+
+    #[test]
+    fn splits_at_frame_boundaries() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        let data: Vec<u8> = (0..100u8).collect();
+        e.write(&mut ctx, 4000, &data);
+        // Source spans frames 0/1; destination spans frames 2/3.
+        relocate(&mut ctx, &e, 4000, 12250, 100);
+        assert_eq!(e.read_vec(&mut ctx, 12250, 100), data);
+        assert!(
+            ctx.stats.relocates >= 2,
+            "a frame-crossing copy needs multiple relocate instructions"
+        );
+    }
+
+    #[test]
+    fn charges_rbb_latency() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[1; 16]);
+        let c0 = ctx.cycles();
+        relocate(&mut ctx, &e, 0, 4096, 16);
+        assert!(ctx.cycles() - c0 >= e.config().rbb_latency);
+    }
+}

@@ -1,0 +1,129 @@
+//! §7.1 — crash-consistency fault-injection campaign.
+//!
+//! Runs every workload under each crash-consistent scheme with crash images
+//! injected throughout the run; every image is recovered and validated with
+//! both checkers (program-data consistency and GC-metadata consistency).
+//! The paper executes one thousand injections across 26 settings; set
+//! `FFCCD_INJECTIONS` to raise the per-setting count (default 12).
+
+use ffccd::Scheme;
+use ffccd_bench::{driver_config, header, rule};
+use ffccd_workloads::driver::PhaseMix;
+use ffccd_workloads::faults::run_fault_injection;
+use ffccd_workloads::{
+    AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
+};
+
+fn injections() -> u64 {
+    std::env::var("FFCCD_INJECTIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+fn main() {
+    header("Section 7.1: crash-consistency fault injection");
+    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+        ("LL", Box::new(|| Box::new(LinkedList::new()))),
+        ("AVL", Box::new(|| Box::new(AvlTree::new()))),
+        ("SS", Box::new(|| Box::new(StringSwap::new()))),
+        ("BT", Box::new(|| Box::new(BplusTree::new()))),
+        ("RBT", Box::new(|| Box::new(RbTree::new()))),
+        ("BzTree", Box::new(|| Box::new(BzTree::new()))),
+        ("FPTree", Box::new(|| Box::new(FpTree::new()))),
+        ("Echo", Box::new(|| Box::new(Echo::new()))),
+        ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
+    ];
+    let schemes = [Scheme::Sfccd, Scheme::FfccdFenceFree, Scheme::FfccdCheckLookup];
+    println!(
+        "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
+        "bench", "scheme", "injections", "mid-cycle", "undone", "result"
+    );
+    rule(76);
+    let mut settings = 0;
+    let mut failures = 0;
+    for (name, make) in &factories {
+        for (si, &scheme) in schemes.iter().enumerate() {
+            let mut w = make();
+            let seed = 0x7_1_0 + settings as u64 * 31 + si as u64;
+            let mut cfg = driver_config(scheme, false, seed);
+            cfg.mix = PhaseMix {
+                init: 1200,
+                phase_ops: 900,
+                phases: 3,
+            };
+            cfg.defrag.min_live_bytes = 1 << 12;
+            let report =
+                run_fault_injection(&mut *w, &**make, scheme, seed, injections(), &cfg);
+            let ok = report.failures.is_empty();
+            println!(
+                "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
+                name,
+                scheme.label(),
+                report.injections,
+                report.mid_cycle,
+                report.undone_objects,
+                if ok { "PASS" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+                for f in report.failures.iter().take(3) {
+                    println!("    {f}");
+                }
+            }
+            settings += 1;
+        }
+    }
+    // Concurrent data structures with 2/4/8 threads (paper §7.1 runs the
+    // concurrent DS at 1, 2, 4 and 8 threads; the 1-thread rows are above).
+    use ffccd_workloads::faults::run_mt_fault_injection;
+    let concurrent: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+        ("BzTree", Box::new(|| Box::new(BzTree::new()))),
+        ("FPTree", Box::new(|| Box::new(FpTree::new()))),
+    ];
+    for (name, make) in &concurrent {
+        for threads in [2usize, 4, 8] {
+            let scheme = Scheme::FfccdCheckLookup;
+            let seed = 0x7_1_77 + settings as u64;
+            let mut cfg = driver_config(scheme, false, seed);
+            cfg.mix = PhaseMix {
+                init: 1200,
+                phase_ops: 900,
+                phases: 3,
+            };
+            cfg.defrag.min_live_bytes = 1 << 12;
+            let report =
+                run_mt_fault_injection(&**make, threads, scheme, seed, injections(), &cfg);
+            let ok = report.failures.is_empty();
+            println!(
+                "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
+                format!("{name} {threads}T"),
+                scheme.label(),
+                report.injections,
+                report.mid_cycle,
+                report.undone_objects,
+                if ok { "PASS" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+                for f in report.failures.iter().take(3) {
+                    println!("    {f}");
+                }
+            }
+            settings += 1;
+        }
+    }
+    rule(76);
+    println!(
+        "{settings} settings x {} injections: {}",
+        injections(),
+        if failures == 0 {
+            "ALL PASS (paper: both GC schemes passed all tests)".to_owned()
+        } else {
+            format!("{failures} settings FAILED")
+        }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

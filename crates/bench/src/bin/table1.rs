@@ -1,0 +1,37 @@
+//! Table 1 — hardware cost of the FFCCD architecture support.
+
+use ffccd_arch::{hardware_cost_table, in_memory_cost_table};
+use ffccd_bench::{header, rule};
+
+fn main() {
+    header("Table 1: Hardware cost");
+    println!(
+        "{:<24} {:>12} {:>10} {:>10} {:>10}",
+        "New on-chip component", "entry (B)", "#entries", "size (B)", "area mm^2"
+    );
+    rule(72);
+    let rows = hardware_cost_table(8, 16, 1024);
+    for r in &rows {
+        println!(
+            "{:<24} {:>12} {:>10} {:>10} {:>10.3}",
+            r.component,
+            r.entry_bytes.map_or("N/A".into(), |e| format!("{e}")),
+            r.entries.map_or("N/A".into(), |n| format!("{n}")),
+            r.total_bytes,
+            r.area_mm2
+        );
+    }
+    let total: u64 = rows.iter().map(|r| r.total_bytes).sum();
+    rule(72);
+    println!("total on-chip storage: {total} bytes (paper: 2256 bytes, 0.1% die area)");
+    println!();
+    println!(
+        "{:<24} {:>22} {:>24}",
+        "In-memory structure", "entry per 4KiB page (B)", "% of relocation page"
+    );
+    rule(72);
+    for (name, bytes, pct) in in_memory_cost_table() {
+        println!("{name:<24} {bytes:>22} {pct:>23.2}%");
+    }
+    println!("(paper: PMFT 259 B / 6.32%; reached bitmap 8 B / 0.2%)");
+}

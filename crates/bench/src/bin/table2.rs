@@ -1,0 +1,36 @@
+//! Table 2 — simulation parameters actually in force.
+
+use ffccd_bench::{header, rule};
+use ffccd_pmem::MachineConfig;
+
+fn main() {
+    header("Table 2: Simulation parameters");
+    let c = MachineConfig::default();
+    let rows: Vec<(&str, String)> = vec![
+        ("Cache hit latency (cycles)", c.cache_hit_latency.to_string()),
+        ("Store hit latency", c.store_hit_latency.to_string()),
+        ("DRAM latency", c.dram_latency.to_string()),
+        ("PM read latency", c.pm_read_latency.to_string()),
+        ("PM write drain cost / line", c.pm_write_cost.to_string()),
+        ("WPQ latency", c.wpq_latency.to_string()),
+        ("WPQ capacity (lines)", c.wpq_capacity.to_string()),
+        ("Cache capacity (lines)", c.cache_capacity_lines.to_string()),
+        ("clwb cost", c.clwb_cost.to_string()),
+        ("L1 TLB entries", c.tlb_l1_entries.to_string()),
+        ("L2 TLB entries", c.tlb_l2_entries.to_string()),
+        ("TLB miss penalty", c.tlb_miss_penalty.to_string()),
+        ("Bloom filter check (cycles)", c.bloom_check_latency.to_string()),
+        ("Bloom filter miss", c.bloom_miss_latency.to_string()),
+        ("PMFTLB latency", c.pmftlb_latency.to_string()),
+        ("PMFTLB entries", c.pmftlb_entries.to_string()),
+        ("RBB latency", c.rbb_latency.to_string()),
+        ("RBB entries", c.rbb_entries.to_string()),
+        ("In-memory bloom filters", c.bloom_filters.to_string()),
+        ("Bloom filter size (bytes)", c.bloom_filter_bytes.to_string()),
+    ];
+    for (k, v) in rows {
+        println!("{k:<34} {v:>12}");
+    }
+    rule(72);
+    println!("(matches the paper's Table 2 where the simulator models the knob)");
+}

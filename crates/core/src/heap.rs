@@ -1,0 +1,562 @@
+//! The defragmenting heap: the application-facing API (paper §5) and the
+//! per-scheme read barrier (Figures 6, 7 and 9).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use ffccd_arch::{CheckLookupUnit, GcMetaLayout, LookupResult, Pmft, PmftEntry, Rbb};
+use ffccd_pmem::{Ctx, PmEngine};
+use ffccd_pmop::{
+    PmPool, PmPtr, PoolConfig, PoolError, TypeId, TypeRegistry, FRAME_BYTES,
+    OBJ_HEADER_BYTES, SLOT_BYTES,
+};
+
+use crate::config::{DefragConfig, Scheme};
+use crate::stats::{GcStats, GcStatsSnapshot};
+
+/// State of one in-flight defragmentation cycle.
+pub(crate) struct CycleState {
+    /// Frames being evacuated.
+    pub reloc_frames: Vec<u64>,
+    /// Frames receiving objects.
+    pub dest_frames: Vec<u64>,
+    /// Volatile mirror of the persistent PMFT, for fast driver access.
+    pub entries: HashMap<u64, PmftEntry>,
+    /// Objects the compaction driver still has to move: (frame, slot).
+    pub pending: VecDeque<(u64, usize)>,
+    /// Unmoved objects left per relocation frame; a frame evacuates (stops
+    /// counting toward the footprint, §5) when its count reaches zero.
+    pub remaining: HashMap<u64, usize>,
+}
+
+pub(crate) struct HeapInner {
+    pub pool: PmPool,
+    pub cfg: DefragConfig,
+    pub meta: GcMetaLayout,
+    pub pmft: Pmft,
+    pub rbb: Option<Arc<Rbb>>,
+    pub clu: Option<CheckLookupUnit>,
+    /// Application operations hold this for read; stop-the-world phases
+    /// (marking, summary, termination) hold it for write.
+    pub world: RwLock<()>,
+    pub cycle: Mutex<Option<CycleState>>,
+    pub in_cycle: AtomicBool,
+    /// Serializes object relocation (the paper's §4.5 critical section).
+    pub reloc_lock: Mutex<()>,
+    pub stats: GcStats,
+    /// Allocator operations observed (the §5 monitor's clock).
+    pub op_counter: std::sync::atomic::AtomicU64,
+    /// `op_counter` value when the last cycle started (trigger hysteresis).
+    pub last_cycle_start: std::sync::atomic::AtomicU64,
+}
+
+/// A persistent heap with crash-consistent concurrent defragmentation.
+///
+/// Wraps a [`PmPool`] with the paper's modified interfaces: `pmalloc` /
+/// `pfree` monitor fragmentation and trigger defragmentation; `D_RW`/`D_RO`
+/// ([`DefragHeap::load_ref`]) carry the scheme's read barrier.
+///
+/// Cloning is cheap and shares the heap (hand clones to worker threads).
+///
+/// # Example
+///
+/// ```
+/// use ffccd::{DefragConfig, DefragHeap, Scheme};
+/// use ffccd_pmop::{PoolConfig, TypeDesc, TypeRegistry};
+///
+/// let mut reg = TypeRegistry::new();
+/// let node = reg.register(TypeDesc::new("node", 16, &[8]));
+/// let heap = DefragHeap::create(
+///     PoolConfig::small_for_tests(),
+///     reg,
+///     DefragConfig::normal(Scheme::FfccdCheckLookup),
+/// )?;
+/// let mut ctx = heap.ctx();
+/// let obj = heap.alloc(&mut ctx, node, 16)?;
+/// heap.set_root(&mut ctx, obj);
+/// heap.maybe_defrag(&mut ctx); // monitor hook; triggers when fragmented
+/// # Ok::<(), ffccd_pmop::PoolError>(())
+/// ```
+#[derive(Clone)]
+pub struct DefragHeap {
+    pub(crate) inner: Arc<HeapInner>,
+}
+
+impl std::fmt::Debug for DefragHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefragHeap")
+            .field("scheme", &self.inner.cfg.scheme)
+            .field("in_cycle", &self.in_cycle())
+            .finish()
+    }
+}
+
+impl DefragHeap {
+    /// Creates a fresh pool with defragmentation support (`init()` in §5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolError`] from pool creation.
+    pub fn create(
+        pool_cfg: PoolConfig,
+        registry: TypeRegistry,
+        cfg: DefragConfig,
+    ) -> Result<Self, PoolError> {
+        let pool = PmPool::create(pool_cfg, registry)?;
+        Ok(Self::from_pool(pool, cfg))
+    }
+
+    /// `recovery()` (§5): boots from a crash image, runs the scheme's
+    /// recovery procedure, then opens the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolError`] from recovery or pool opening.
+    pub fn open_recovered(
+        image: &ffccd_pmem::CrashImage,
+        registry: TypeRegistry,
+        cfg: DefragConfig,
+    ) -> Result<(Self, crate::RecoveryReport), PoolError> {
+        let engine = image.restart();
+        let report = crate::recovery::recover(&engine, &registry, cfg.scheme)?;
+        let pool = PmPool::open(engine, registry)?;
+        let heap = Self::from_pool(pool, cfg);
+        heap.inner
+            .stats
+            .add_cycles(&heap.inner.stats.recovery_cycles, report.cycles);
+        Ok((heap, report))
+    }
+
+    /// Wraps an already-open pool (post-recovery path).
+    pub fn from_pool(pool: PmPool, cfg: DefragConfig) -> Self {
+        let meta = GcMetaLayout::from_pool(pool.layout());
+        let pmft = Pmft::new(meta);
+        let rbb = cfg
+            .scheme
+            .uses_relocate()
+            .then(|| Arc::new(Rbb::new(meta, pool.machine().rbb_entries)));
+        let clu = cfg
+            .scheme
+            .uses_checklookup()
+            .then(|| CheckLookupUnit::new(pmft));
+        DefragHeap {
+            inner: Arc::new(HeapInner {
+                pool,
+                cfg,
+                meta,
+                pmft,
+                rbb,
+                clu,
+                world: RwLock::new(()),
+                cycle: Mutex::new(None),
+                in_cycle: AtomicBool::new(false),
+                reloc_lock: Mutex::new(()),
+                stats: GcStats::default(),
+                op_counter: std::sync::atomic::AtomicU64::new(0),
+                last_cycle_start: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &PmPool {
+        &self.inner.pool
+    }
+
+    /// The engine under the pool.
+    pub fn engine(&self) -> &PmEngine {
+        self.inner.pool.engine()
+    }
+
+    /// A fresh execution context for this heap's machine.
+    pub fn ctx(&self) -> Ctx {
+        Ctx::new(self.inner.pool.machine())
+    }
+
+    /// The defragmentation configuration.
+    pub fn config(&self) -> &DefragConfig {
+        &self.inner.cfg
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.inner.cfg.scheme
+    }
+
+    /// Whether a compaction cycle is in flight.
+    pub fn in_cycle(&self) -> bool {
+        self.inner.in_cycle.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of GC phase statistics.
+    pub fn gc_stats(&self) -> GcStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The GC metadata layout (benches and validators).
+    pub fn meta(&self) -> &GcMetaLayout {
+        &self.inner.meta
+    }
+
+    // ---- application API (modified pmalloc/pfree/D_RW/D_RO of §5) -------------
+
+    /// Allocates a typed object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's allocation errors.
+    pub fn alloc(&self, ctx: &mut Ctx, type_id: TypeId, payload: u64) -> Result<PmPtr, PoolError> {
+        let _g = self.inner.world.read_recursive();
+        self.inner.op_counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.pool.pmalloc(ctx, type_id, payload)
+    }
+
+    /// Frees an object; the read barrier runs first so the free lands on
+    /// the object's current location.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's invalid-pointer errors.
+    pub fn free(&self, ctx: &mut Ctx, ptr: PmPtr) -> Result<(), PoolError> {
+        let _g = self.inner.world.read_recursive();
+        self.inner.op_counter.fetch_add(1, Ordering::Relaxed);
+        let fwd = self.forward(ctx, ptr);
+        self.inner.pool.pfree(ctx, fwd)
+    }
+
+    /// Reads the root pointer through the read barrier.
+    pub fn root(&self, ctx: &mut Ctx) -> PmPtr {
+        let _g = self.inner.world.read_recursive();
+        self.load_slot(ctx, crate::walk::ROOT_SLOT)
+    }
+
+    /// Stores and persists the root pointer.
+    pub fn set_root(&self, ctx: &mut Ctx, ptr: PmPtr) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.set_root(ctx, ptr);
+    }
+
+    /// `D_RW`/`D_RO`: reads the reference field at `obj + field` through the
+    /// read barrier, updating the stored reference if the target moved.
+    pub fn load_ref(&self, ctx: &mut Ctx, obj: PmPtr, field: u64) -> PmPtr {
+        let _g = self.inner.world.read_recursive();
+        self.load_slot(ctx, obj.offset() + field)
+    }
+
+    /// `D_RO`: identical barrier path to [`DefragHeap::load_ref`] — a
+    /// read-only dereference still relocates on first touch (paper Figure
+    /// 6: both `D_RW` and `D_RO` carry the barrier), it merely signals
+    /// intent at the call site.
+    pub fn load_ref_ro(&self, ctx: &mut Ctx, obj: PmPtr, field: u64) -> PmPtr {
+        self.load_ref(ctx, obj, field)
+    }
+
+    /// Stores a reference field (plus persist, as PM programs must).
+    pub fn store_ref(&self, ctx: &mut Ctx, obj: PmPtr, field: u64, target: PmPtr) {
+        let _g = self.inner.world.read_recursive();
+        let off = obj.offset() + field;
+        self.engine().write_u64(ctx, off, target.raw());
+        self.engine().persist(ctx, off, 8);
+        self.sfccd_mirror(ctx, off, &target.raw().to_le_bytes());
+    }
+
+    /// SFCCD write-through: Figure 7b's recovery re-copies a moved object
+    /// from its source whenever destination and source differ, which would
+    /// roll back the application's *persisted* post-move updates (the paper
+    /// leans on application-level redo logging there). We instead mirror
+    /// every store to a destination copy back to its source, so the two
+    /// copies only differ when the relocation copy itself failed to persist
+    /// — making the re-copy always safe.
+    fn sfccd_mirror(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
+        if self.inner.cfg.scheme != Scheme::Sfccd || !self.in_cycle() {
+            return;
+        }
+        let layout = *self.inner.pool.layout();
+        let Some(frame) = layout.frame_of(off) else { return };
+        let guard = self.inner.cycle.lock();
+        let Some(cs) = guard.as_ref() else { return };
+        for e in cs.entries.values() {
+            if e.dest_frame != frame {
+                continue;
+            }
+            let off_in_frame = off - layout.frame_start(frame);
+            for (src_slot, dst_slot) in e.mappings() {
+                let dst_obj = dst_slot as u64 * SLOT_BYTES;
+                // Object extent from the source header.
+                let src_obj = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
+                let word = self.engine().peek_u64(src_obj);
+                let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+                if off_in_frame >= dst_obj && off_in_frame + data.len() as u64 <= dst_obj + total
+                {
+                    let mirror = src_obj + (off_in_frame - dst_obj);
+                    self.engine().write(ctx, mirror, data);
+                    self.engine().persist(ctx, mirror, data.len() as u64);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies the read barrier to a pointer held outside PM (e.g. a
+    /// volatile DRAM index, as FPTree keeps): returns the object's current
+    /// address, relocating on first touch. Equivalent to `D_RW` on a
+    /// transient pointer.
+    pub fn resolve(&self, ctx: &mut Ctx, ptr: PmPtr) -> PmPtr {
+        let _g = self.inner.world.read_recursive();
+        self.forward(ctx, ptr)
+    }
+
+    /// Runs `f` as one §4.5 critical section: no stop-the-world GC phase
+    /// (marking, summary, termination) can interleave inside it. Heap calls
+    /// within `f` are fine (the world lock is recursive for readers).
+    /// Multi-threaded applications wrap each structure operation in this,
+    /// so pointers resolved early in an operation stay valid throughout.
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _g = self.inner.world.read_recursive();
+        f()
+    }
+
+    /// Monotonic count of completed defragmentation cycles. A volatile
+    /// index holding cached persistent pointers (FPTree's DRAM layer) must
+    /// rebuild when this changes: after termination the forwarding table is
+    /// gone, so stale cached pointers can no longer be resolved.
+    pub fn gc_epoch(&self) -> u64 {
+        self.inner
+            .stats
+            .cycles_completed
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Reads a data (non-reference) `u64` field.
+    pub fn read_u64(&self, ctx: &mut Ctx, obj: PmPtr, field: u64) -> u64 {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.read_u64(ctx, obj, field)
+    }
+
+    /// Writes a data `u64` field (volatile until persisted).
+    pub fn write_u64(&self, ctx: &mut Ctx, obj: PmPtr, field: u64, v: u64) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.write_u64(ctx, obj, field, v);
+        self.sfccd_mirror(ctx, obj.offset() + field, &v.to_le_bytes());
+    }
+
+    /// Reads payload bytes.
+    pub fn read_bytes(&self, ctx: &mut Ctx, obj: PmPtr, field: u64, buf: &mut [u8]) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.read_bytes(ctx, obj, field, buf)
+    }
+
+    /// Writes payload bytes.
+    pub fn write_bytes(&self, ctx: &mut Ctx, obj: PmPtr, field: u64, data: &[u8]) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.write_bytes(ctx, obj, field, data);
+        self.sfccd_mirror(ctx, obj.offset() + field, data);
+    }
+
+    /// Persists a payload range (the application's own durability barrier).
+    pub fn persist(&self, ctx: &mut Ctx, obj: PmPtr, field: u64, len: u64) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.persist(ctx, obj, field, len)
+    }
+
+    /// Reads the object header (type, payload size).
+    pub fn object_header(&self, ctx: &mut Ctx, ptr: PmPtr) -> (TypeId, u32) {
+        let _g = self.inner.world.read_recursive();
+        self.inner.pool.object_header(ctx, ptr)
+    }
+
+    // ---- the read barrier ------------------------------------------------------
+
+    /// Loads the reference stored at pool offset `slot_off` through the
+    /// barrier. Caller holds the world read lock.
+    fn load_slot(&self, ctx: &mut Ctx, slot_off: u64) -> PmPtr {
+        let raw = self.engine().read_u64(ctx, slot_off);
+        let ptr = PmPtr::from_raw(raw);
+        if ptr.is_null() || !self.in_cycle() {
+            return ptr;
+        }
+        let fwd = self.forward(ctx, ptr);
+        if fwd != ptr {
+            // Observation 3: the reference update is idempotent and needs no
+            // persist barrier — recovery redoes or undoes it from the PMFT.
+            let t0 = ctx.cycles();
+            self.engine().write_u64(ctx, slot_off, fwd.raw());
+            self.inner
+                .stats
+                .add_cycles(&self.inner.stats.ref_fixup_cycles, ctx.cycles() - t0);
+        }
+        fwd
+    }
+
+    /// The scheme's read barrier applied to an object pointer: returns the
+    /// object's current address, relocating it on first touch.
+    pub(crate) fn forward(&self, ctx: &mut Ctx, ptr: PmPtr) -> PmPtr {
+        if ptr.is_null() || !self.in_cycle() {
+            return ptr;
+        }
+        let inner = &*self.inner;
+        inner.stats.add_cycles(&inner.stats.barrier_invocations, 1);
+        let hdr_off = ptr.offset() - OBJ_HEADER_BYTES;
+        let Some(frame) = inner.pool.layout().frame_of(hdr_off) else {
+            return ptr;
+        };
+        let slot = ((hdr_off - inner.pool.layout().frame_start(frame)) / SLOT_BYTES) as usize;
+
+        // 1. check + lookup (the overhead `checklookup` attacks).
+        let t0 = ctx.cycles();
+        let fwd = match inner.cfg.scheme {
+            Scheme::Baseline => None,
+            Scheme::FfccdCheckLookup => {
+                let clu = inner.clu.as_ref().expect("checklookup scheme has a unit");
+                let va = inner.pool.base() + hdr_off;
+                match clu.checklookup(ctx, self.engine(), va) {
+                    LookupResult::NotRelocation => None,
+                    LookupResult::Forwarded {
+                        dest_frame,
+                        dest_slot,
+                    } => Some((dest_frame, dest_slot)),
+                }
+            }
+            _ => {
+                // Software path: is_frag_page bitmap, then PMFT walk.
+                let byte = self
+                    .engine()
+                    .read_vec(ctx, inner.meta.fragmap_byte(frame), 1)[0];
+                if byte >> (frame % 8) & 1 == 0 {
+                    None
+                } else {
+                    inner.pmft.soft_lookup(ctx, self.engine(), frame, slot)
+                }
+            }
+        };
+        inner
+            .stats
+            .add_cycles(&inner.stats.check_lookup_cycles, ctx.cycles() - t0);
+        let Some((dest_frame, dest_slot)) = fwd else {
+            return ptr;
+        };
+
+        // 2. relocate on first touch.
+        self.ensure_relocated(ctx, frame, slot, dest_frame, dest_slot);
+        let new_hdr =
+            inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
+        PmPtr::new(ptr.pool_id(), new_hdr + OBJ_HEADER_BYTES)
+    }
+
+    /// Copies the object at (frame, slot) to (dest_frame, dest_slot) if its
+    /// moved bit is clear, per the scheme's persistence discipline.
+    pub(crate) fn ensure_relocated(
+        &self,
+        ctx: &mut Ctx,
+        frame: u64,
+        slot: usize,
+        dest_frame: u64,
+        dest_slot: u8,
+    ) {
+        let inner = &*self.inner;
+        let t0 = ctx.cycles();
+        if self.read_moved(ctx, frame, slot) {
+            inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            return;
+        }
+        let _g = inner.reloc_lock.lock();
+        if self.read_moved(ctx, frame, slot) {
+            inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            return;
+        }
+        inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+
+        let src = inner.pool.layout().frame_start(frame) + slot as u64 * SLOT_BYTES;
+        let dst = inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
+        // find_object_size(*x): header word of the source object.
+        let word = self.engine().read_u64(ctx, src);
+        let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+
+        // 3. the copy — where the schemes differ (Figures 6, 7, 9).
+        let t1 = ctx.cycles();
+        match inner.cfg.scheme {
+            Scheme::Baseline => unreachable!("baseline never relocates"),
+            Scheme::Espresso => {
+                // memcpy; clwb each line; sfence (full persist barrier #1).
+                let data = self.engine().read_vec(ctx, src, total);
+                self.engine().write(ctx, dst, &data);
+                self.engine().persist(ctx, dst, total);
+            }
+            Scheme::Sfccd => {
+                // memcpy; clwb each line; *no* sfence (Figure 7a line 8).
+                let data = self.engine().read_vec(ctx, src, total);
+                self.engine().write(ctx, dst, &data);
+                for line in ffccd_pmem::lines_spanning(dst, total) {
+                    self.engine().clwb(ctx, line.start());
+                }
+            }
+            Scheme::FfccdFenceFree | Scheme::FfccdCheckLookup => {
+                // relocate instruction: pending-bit-tagged stores, no flushes.
+                ffccd_arch::relocate(ctx, self.engine(), src, dst, total);
+            }
+        }
+        inner.stats.add_cycles(&inner.stats.copy_cycles, ctx.cycles() - t1);
+
+        // 4. moved[x] = 1 — persistence again differs per scheme.
+        let t2 = ctx.cycles();
+        self.write_moved(ctx, frame, slot);
+        inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t2);
+        inner.stats.add_cycles(&inner.stats.objects_relocated, 1);
+
+        // Progressive release (§5): once every object of the source frame
+        // has moved, the frame stops counting toward the footprint — the
+        // frame itself is recycled at termination.
+        let mut guard = inner.cycle.lock();
+        if let Some(cs) = guard.as_mut() {
+            if let Some(rem) = cs.remaining.get_mut(&frame) {
+                *rem = rem.saturating_sub(1);
+                if *rem == 0 {
+                    inner.pool.evacuate_frame(frame);
+                }
+            }
+        }
+    }
+
+    /// Reads the moved bit for (frame, slot).
+    pub(crate) fn read_moved(&self, ctx: &mut Ctx, frame: u64, slot: usize) -> bool {
+        let off = self.inner.meta.moved_bitmap(frame) + slot as u64 / 8;
+        let byte = self.engine().read_vec(ctx, off, 1)[0];
+        byte >> (slot % 8) & 1 == 1
+    }
+
+    /// Sets the moved bit with the scheme's persistence discipline.
+    fn write_moved(&self, ctx: &mut Ctx, frame: u64, slot: usize) {
+        let off = self.inner.meta.moved_bitmap(frame) + slot as u64 / 8;
+        let byte = self.engine().read_vec(ctx, off, 1)[0] | 1 << (slot % 8);
+        self.engine().write(ctx, off, &[byte]);
+        match self.inner.cfg.scheme {
+            // Espresso and SFCCD: clwb(moved[x]); sfence (the barrier each
+            // design keeps — Figure 6a line 11 / Figure 7a line 10).
+            Scheme::Espresso | Scheme::Sfccd => {
+                self.engine().clwb(ctx, off);
+                self.engine().sfence(ctx);
+            }
+            // Fence-free: the bit reaches PM lazily; recovery trusts the
+            // reached bitmap instead (Figure 9).
+            Scheme::FfccdFenceFree | Scheme::FfccdCheckLookup => {}
+            Scheme::Baseline => unreachable!("baseline never relocates"),
+        }
+    }
+
+    // ---- helpers shared with phase code ---------------------------------------
+
+    /// Destination payload pointer for a PMFT mapping.
+    pub(crate) fn dest_ptr(&self, entry: &PmftEntry, dest_slot: u8) -> PmPtr {
+        let hdr = self.inner.pool.layout().frame_start(entry.dest_frame)
+            + dest_slot as u64 * SLOT_BYTES;
+        PmPtr::new(self.inner.pool.pool_id(), hdr + OBJ_HEADER_BYTES)
+    }
+
+    /// Frame capacity sanity bound.
+    pub(crate) const SLOTS_PER_FRAME: usize = (FRAME_BYTES / SLOT_BYTES) as usize;
+}

@@ -1,0 +1,36 @@
+//! # FFCCD — Fence-Free Crash-Consistent Concurrent Defragmentation
+//!
+//! A faithful reproduction of the ISCA'22 paper's defragmenter for
+//! persistent-memory object pools, in simulation. The crate provides:
+//!
+//! * [`DefragHeap`] — a persistent heap whose `pmalloc`/`pfree` monitor
+//!   fragmentation and whose `D_RW`/`D_RO` (here [`DefragHeap::load_ref`])
+//!   carry the scheme's read barrier (paper §5);
+//! * five [`Scheme`]s: the PMDK baseline, Espresso-on-C/C++ (two persist
+//!   barriers per relocation), SFCCD (one), and the two fence-free FFCCD
+//!   variants backed by the `ffccd-arch` hardware model;
+//! * the full cycle — stop-the-world marking and summary, concurrent
+//!   compaction driven by read barriers and [`DefragHeap::step_compaction`],
+//!   and `terminate()` ([`DefragHeap::finish_cycle`]);
+//! * per-scheme crash recovery ([`recover`]), fault-injection plumbing and the paper's
+//!   two-level consistency [`validate_heap`] checker (§7.1).
+//!
+//! See the repository's `DESIGN.md` for the mapping from paper sections to
+//! modules, and `examples/quickstart.rs` for an end-to-end tour.
+
+#![warn(missing_docs)]
+
+mod comparators;
+mod config;
+mod heap;
+mod phases;
+mod recovery;
+mod stats;
+mod validate;
+mod walk;
+
+pub use config::{DefragConfig, Scheme};
+pub use heap::DefragHeap;
+pub use recovery::{recover, RecoveryReport};
+pub use stats::{GcStats, GcStatsSnapshot};
+pub use validate::{validate_heap, ValidationSummary};

@@ -1,0 +1,472 @@
+//! Defragmentation phases: marking, sweep, summary, compaction, termination
+//! (paper §3.3.1 and §5).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+
+use ffccd_arch::PmftEntry;
+use ffccd_pmem::Ctx;
+use ffccd_pmop::{FrameKind, PmPtr, FRAME_BYTES, OBJ_HEADER_BYTES, SLOT_BYTES};
+
+use crate::heap::{CycleState, DefragHeap};
+use crate::walk::walk_refs;
+
+/// Compacting no more than this fraction of a page's capacity is worthwhile;
+/// fuller pages cost more copies than the footprint they release.
+const MAX_EVACUATION_OCCUPANCY: f64 = 0.9;
+
+impl DefragHeap {
+    /// The monitor hook (§5): called from allocation sites; begins a
+    /// defragmentation cycle when fragR exceeds the trigger ratio. Returns
+    /// whether a cycle started.
+    pub fn maybe_defrag(&self, ctx: &mut Ctx) -> bool {
+        if self.in_cycle() || self.scheme() == crate::Scheme::Baseline {
+            return false;
+        }
+        // Trigger hysteresis: let the application run between cycles, or a
+        // falling live set re-relocates the same survivors continuously.
+        let now = self.inner.op_counter.load(Ordering::Relaxed);
+        let last = self.inner.last_cycle_start.load(Ordering::Relaxed);
+        if last != 0 && now.saturating_sub(last) < self.inner.cfg.cooldown_ops {
+            return false;
+        }
+        let st = self.pool().stats();
+        if st.live_bytes < self.inner.cfg.min_live_bytes
+            || st.frag_ratio < self.inner.cfg.trigger_ratio
+        {
+            return false;
+        }
+        self.defrag_now(ctx)
+    }
+
+    /// Unconditionally runs the stop-the-world phases (marking, sweep,
+    /// summary) and arms a compaction cycle. Returns `false` if there was
+    /// nothing worth compacting.
+    pub fn defrag_now(&self, ctx: &mut Ctx) -> bool {
+        if self.in_cycle() || self.scheme() == crate::Scheme::Baseline {
+            return false;
+        }
+        let _w = self.inner.world.write();
+        let stats = &self.inner.stats;
+
+        // -- marking: STW reachability from the roots (idempotent) --
+        let t0 = ctx.cycles();
+        let marked = walk_refs(
+            ctx,
+            self.engine(),
+            self.inner.pool.registry(),
+            self.inner.pool.layout(),
+            |_, _, _| None,
+        );
+        stats.add_cycles(&stats.mark_cycles, ctx.cycles() - t0);
+
+        // -- sweep: unreachable objects go back to the free lists --
+        let t0 = ctx.cycles();
+        self.sweep(ctx, &marked);
+        stats.add_cycles(&stats.sweep_cycles, ctx.cycles() - t0);
+
+        // -- summary: rank pages, pick relocation set, build the PMFT --
+        let t0 = ctx.cycles();
+        let started = self.summary(ctx, &marked);
+        stats.add_cycles(&stats.summary_cycles, ctx.cycles() - t0);
+        started
+    }
+
+    fn sweep(&self, ctx: &mut Ctx, marked: &HashSet<u64>) {
+        let pool = &self.inner.pool;
+        let mut dead: Vec<PmPtr> = Vec::new();
+        for frame in 0..pool.layout().num_frames {
+            let st = pool.frame_state(frame);
+            let is_head = st.kind == FrameKind::Active
+                || (st.kind == FrameKind::Huge && st.is_start(0));
+            if !is_head {
+                continue;
+            }
+            for obj in pool.frame_objects(ctx, frame) {
+                if !marked.contains(&obj.ptr.offset()) {
+                    dead.push(obj.ptr);
+                }
+            }
+        }
+        for ptr in dead {
+            if pool.pfree(ctx, ptr).is_ok() {
+                self.inner.stats.add_cycles(&self.inner.stats.objects_swept, 1);
+            }
+        }
+    }
+
+    /// The summary phase (§5): per-page fragmentation ranking, top-k
+    /// selection toward the target ratio, deterministic destination
+    /// assignment, PMFT persistence, hardware arming.
+    fn summary(&self, ctx: &mut Ctx, marked: &HashSet<u64>) -> bool {
+        let _ = marked; // objects surviving the sweep are exactly the marked ones
+        let inner = &*self.inner;
+        let pool = &inner.pool;
+        let layout = *pool.layout();
+        let fpp = layout.frames_per_os_page();
+
+        // Empty committed pages are free wins.
+        pool.decommit_empty_pages();
+
+        // Candidate pages: committed, fully evacuable (only Free/Active
+        // frames), sorted most-fragmented (least live) first.
+        struct Cand {
+            page: u64,
+            live: u64,
+            frames: Vec<u64>,
+        }
+        let mut cands: Vec<Cand> = Vec::new();
+        for page in 0..layout.num_os_pages() {
+            if !pool.page_committed(page) {
+                continue;
+            }
+            let mut frames = Vec::new();
+            let mut live = 0u64;
+            let mut evacuable = true;
+            for f in page * fpp..(page + 1) * fpp {
+                let st = pool.frame_state(f);
+                match st.kind {
+                    FrameKind::Free => {}
+                    FrameKind::Active => {
+                        // Line-aligned destinations inflate slot needs by up
+                        // to a third; a frame whose objects cannot fit one
+                        // destination frame cannot honor the single-major-
+                        // distance PMFT entry, so its page stays put.
+                        let needed: usize = pool
+                            .frame_objects(ctx, f)
+                            .iter()
+                            .map(|o| o.slots.div_ceil(4) * 4)
+                            .sum();
+                        if needed > Self::SLOTS_PER_FRAME {
+                            evacuable = false;
+                            break;
+                        }
+                        live += st.live_bytes as u64;
+                        frames.push(f);
+                    }
+                    _ => {
+                        evacuable = false;
+                        break;
+                    }
+                }
+            }
+            if evacuable && !frames.is_empty() {
+                cands.push(Cand { page, live, frames });
+            }
+        }
+        cands.sort_by_key(|c| c.live);
+
+        let pool_stats = pool.stats();
+        let footprint = pool_stats.footprint_bytes;
+        let live_total = pool_stats.live_bytes.max(1);
+        let mut selected: Vec<Cand> = Vec::new();
+        let mut sel_slots: u64 = 0; // estimated destination slots needed
+        for c in cands {
+            if selected.len() >= inner.cfg.max_pages_per_cycle {
+                break;
+            }
+            // Projection includes the pages new destination frames commit:
+            // releasing k pages only helps net of where their objects land.
+            let dest_frames = sel_slots.div_ceil(256);
+            let dest_pages = dest_frames.div_ceil(fpp);
+            let projected = (footprint + dest_pages * layout.os_page_size
+                - selected.len() as u64 * layout.os_page_size)
+                as f64
+                / live_total as f64;
+            if projected <= inner.cfg.target_ratio {
+                break;
+            }
+            if c.live as f64 / layout.os_page_size as f64 > MAX_EVACUATION_OCCUPANCY {
+                break; // remaining pages are even fuller (sorted)
+            }
+            // ~1.5× covers per-object slot rounding plus line alignment.
+            sel_slots += c.live.div_ceil(SLOT_BYTES) * 3 / 2;
+            selected.push(c);
+        }
+        if selected.is_empty() {
+            return false;
+        }
+        let avoid: HashSet<u64> = selected.iter().map(|c| c.page).collect();
+
+        // Deterministic destination assignment + PMFT build.
+        let engine = self.engine();
+        let mut reloc_frames = Vec::new();
+        let mut dest_frames: Vec<u64> = Vec::new();
+        let mut entries: HashMap<u64, PmftEntry> = HashMap::new();
+        let mut pending: VecDeque<(u64, usize)> = VecDeque::new();
+        let mut remaining: HashMap<u64, usize> = HashMap::new();
+        let mut cur_dest: Option<(u64, usize)> = None;
+        'pages: for c in &selected {
+            for &frame in &c.frames {
+                let objs = pool.frame_objects(ctx, frame);
+                if objs.is_empty() {
+                    continue;
+                }
+                // Destinations are cacheline-aligned so no two objects share
+                // a destination line: the reached bitmap is per-line, and a
+                // shared line evicted by one object's copy would wrongly
+                // mark its neighbour "reached" (see DESIGN.md).
+                let needed: usize = objs.iter().map(|o| o.slots.div_ceil(4) * 4).sum();
+                // One relocation frame maps to exactly one destination frame
+                // (single major distance per PMFT entry, §4.3.1).
+                let dest_ok = cur_dest
+                    .map(|(_, next)| Self::SLOTS_PER_FRAME - next >= needed)
+                    .unwrap_or(false);
+                if !dest_ok {
+                    match pool.take_destination_frame_avoiding(ctx, &avoid) {
+                        Ok(d) => {
+                            // Fresh reached word for the new destination.
+                            engine.write_u64(ctx, inner.meta.reached_word(d), 0);
+                            engine.persist(ctx, inner.meta.reached_word(d), 8);
+                            dest_frames.push(d);
+                            cur_dest = Some((d, 0));
+                        }
+                        Err(_) => break 'pages, // heap exhausted: compact what we have
+                    }
+                }
+                let (dframe, mut next_slot) = cur_dest.expect("destination frame just ensured");
+                let mut entry = PmftEntry::new(frame, dframe);
+                // PMFT entry first, then reservations, then (much later) the
+                // cycle header — so a pre-header crash can roll all of it back.
+                for obj in &objs {
+                    debug_assert!(next_slot % 4 == 0, "destinations stay line-aligned");
+                    entry.map(obj.slot, next_slot as u8);
+                    pending.push_back((frame, obj.slot));
+                    next_slot += obj.slots.div_ceil(4) * 4;
+                }
+                inner.pmft.store(ctx, engine, &entry);
+                for obj in &objs {
+                    let dslot = entry.lookup(obj.slot).expect("just mapped") as usize;
+                    assert!(
+                        dslot + obj.slots <= Self::SLOTS_PER_FRAME,
+                        "BUG: obj slot={} slots={} size={} dslot={dslot} needed={needed} frame={frame}",
+                        obj.slot, obj.slots, obj.size
+                    );
+                    pool.reserve_destination_slots(
+                        ctx,
+                        dframe,
+                        dslot,
+                        obj.slots,
+                        obj.size + OBJ_HEADER_BYTES as u32,
+                    );
+                }
+                cur_dest = Some((dframe, next_slot));
+                // Zero the moved bitmap; set the frag-page bit.
+                engine.write(ctx, inner.meta.moved_bitmap(frame), &[0u8; 32]);
+                engine.persist(ctx, inner.meta.moved_bitmap(frame), 32);
+                let fb = inner.meta.fragmap_byte(frame);
+                let byte = engine.read_vec(ctx, fb, 1)[0] | 1 << (frame % 8);
+                engine.write(ctx, fb, &[byte]);
+                engine.persist(ctx, fb, 1);
+                pool.set_frame_kind(frame, FrameKind::Relocation);
+                remaining.insert(frame, objs.len());
+                entries.insert(frame, entry);
+                reloc_frames.push(frame);
+            }
+        }
+        if reloc_frames.is_empty() {
+            // Roll destinations back (nothing got mapped into them).
+            for d in dest_frames {
+                self.inner.pool.release_frame(ctx, d);
+            }
+            return false;
+        }
+
+        // Commit point: the persisted cycle header makes the cycle real.
+        engine.write_u64(ctx, inner.meta.cycle_header, 1);
+        engine.write_u64(ctx, inner.meta.cycle_header + 8, scheme_code(inner.cfg.scheme));
+        engine.persist(ctx, inner.meta.cycle_header, 16);
+
+        // Arm the hardware.
+        if let Some(rbb) = &inner.rbb {
+            rbb.invalidate();
+            engine.set_observer(rbb.clone());
+        }
+        if let Some(clu) = &inner.clu {
+            clu.begin_cycle(engine, pool.base(), &reloc_frames);
+        }
+        *inner.cycle.lock() = Some(CycleState {
+            reloc_frames,
+            dest_frames,
+            entries,
+            pending,
+            remaining,
+        });
+        inner.in_cycle.store(true, Ordering::Release);
+        inner.last_cycle_start.store(
+            inner.op_counter.load(Ordering::Relaxed).max(1),
+            Ordering::Relaxed,
+        );
+        true
+    }
+
+    /// Relocates up to `budget` pending objects (the concurrent compaction
+    /// driver's unit of work). Returns `true` while the cycle stays active;
+    /// when the queue drains it terminates the cycle and returns `false`.
+    pub fn step_compaction(&self, ctx: &mut Ctx, budget: usize) -> bool {
+        if !self.in_cycle() {
+            return false;
+        }
+        {
+            let _g = self.inner.world.read();
+            for _ in 0..budget {
+                let item = {
+                    let mut guard = self.inner.cycle.lock();
+                    let Some(cs) = guard.as_mut() else { return false };
+                    match cs.pending.pop_front() {
+                        Some((frame, slot)) => {
+                            let e = cs.entries.get(&frame).expect("entry for pending frame");
+                            (frame, slot, e.dest_frame, e.lookup(slot).expect("mapped slot"))
+                        }
+                        None => break,
+                    }
+                };
+                let (frame, slot, dframe, dslot) = item;
+                self.ensure_relocated(ctx, frame, slot, dframe, dslot);
+            }
+        }
+        let remaining = self
+            .inner
+            .cycle
+            .lock()
+            .as_ref()
+            .map(|c| c.pending.len())
+            .unwrap_or(0);
+        if remaining == 0 {
+            self.finish_cycle(ctx);
+            return false;
+        }
+        true
+    }
+
+    /// `terminate()` (§5): finishes all pending relocation and reference
+    /// updates, persists everything, releases the relocation frames and
+    /// tears the cycle down. Stop-the-world, but runs once per cycle.
+    pub fn finish_cycle(&self, ctx: &mut Ctx) {
+        if !self.in_cycle() {
+            return;
+        }
+        let inner = &*self.inner;
+        let _w = inner.world.write();
+        let Some(cs) = inner.cycle.lock().take() else {
+            return;
+        };
+        let engine = self.engine();
+        let layout = *inner.pool.layout();
+
+        // 1. finish pending relocations.
+        for &(frame, slot) in cs.pending.iter() {
+            let e = cs.entries.get(&frame).expect("entry for pending frame");
+            let d = e.lookup(slot).expect("mapped slot");
+            self.ensure_relocated(ctx, frame, slot, e.dest_frame, d);
+        }
+
+        // 2. durability: destination data and moved bits must be in PM
+        //    before any relocation frame is reused (termination is rare, so
+        //    fencing here is cheap in aggregate).
+        for &d in &cs.dest_frames {
+            engine.persist(ctx, layout.frame_start(d), FRAME_BYTES);
+        }
+        for &f in &cs.reloc_frames {
+            engine.persist(ctx, inner.meta.moved_bitmap(f), 32);
+        }
+
+        // 3. reference fixup rescan: no reference may keep pointing into a
+        //    relocation frame, and every barrier-updated reference must be
+        //    durable before the PMFT disappears.
+        let t0 = ctx.cycles();
+        let reloc_set: HashSet<u64> = cs.reloc_frames.iter().copied().collect();
+        let dest_set: HashSet<u64> = cs.dest_frames.iter().copied().collect();
+        {
+            let engine2 = engine.clone();
+            let entries = &cs.entries;
+            let me = self.clone();
+            walk_refs(
+                ctx,
+                engine,
+                inner.pool.registry(),
+                &layout,
+                move |ctx, slot_off, target| {
+                    if target.is_null() {
+                        return None;
+                    }
+                    let hdr = target.offset() - OBJ_HEADER_BYTES;
+                    let frame = layout.frame_of(hdr)?;
+                    if reloc_set.contains(&frame) {
+                        let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
+                        let e = entries.get(&frame)?;
+                        let d = e.lookup(slot)?;
+                        let new = me.dest_ptr(e, d);
+                        engine2.write_u64(ctx, slot_off, new.raw());
+                        engine2.clwb(ctx, slot_off);
+                        Some(new)
+                    } else if dest_set.contains(&frame) {
+                        engine2.clwb(ctx, slot_off);
+                        None
+                    } else {
+                        None
+                    }
+                },
+            );
+        }
+        engine.sfence(ctx);
+        inner
+            .stats
+            .add_cycles(&inner.stats.ref_fixup_cycles, ctx.cycles() - t0);
+
+        // 4. per-frame teardown: PMFT entry, frag bit, then the frame
+        //    itself — in that order, so a crash leaves at worst an
+        //    unreachable stale copy for the next sweep.
+        for &f in &cs.reloc_frames {
+            inner.pmft.clear(ctx, engine, f);
+            let fb = inner.meta.fragmap_byte(f);
+            let byte = engine.read_vec(ctx, fb, 1)[0] & !(1 << (f % 8));
+            engine.write(ctx, fb, &[byte]);
+            engine.persist(ctx, fb, 1);
+            inner.pool.release_frame(ctx, f);
+            inner.stats.add_cycles(&inner.stats.frames_released, 1);
+        }
+
+        // 5. destinations become ordinary frames; reached words reset.
+        for &d in &cs.dest_frames {
+            inner.pool.finish_destination_frame(d);
+            engine.write_u64(ctx, inner.meta.reached_word(d), 0);
+            engine.persist(ctx, inner.meta.reached_word(d), 8);
+        }
+
+        // 6. cycle header back to idle.
+        engine.write_u64(ctx, inner.meta.cycle_header, 0);
+        engine.persist(ctx, inner.meta.cycle_header, 8);
+
+        // 7. disarm hardware.
+        if inner.rbb.is_some() {
+            engine.clear_observer();
+        }
+        if let Some(rbb) = &inner.rbb {
+            rbb.invalidate();
+        }
+        if let Some(clu) = &inner.clu {
+            clu.end_cycle();
+        }
+        inner.in_cycle.store(false, Ordering::Release);
+        inner.stats.add_cycles(&inner.stats.cycles_completed, 1);
+    }
+
+    /// `exit()` (§5): finishes any ongoing defragmentation and releases all
+    /// related metadata.
+    pub fn exit(&self, ctx: &mut Ctx) {
+        self.finish_cycle(ctx);
+    }
+}
+
+/// Persistent code identifying the scheme in the cycle header (recovery
+/// sanity check).
+pub(crate) fn scheme_code(s: crate::Scheme) -> u64 {
+    match s {
+        crate::Scheme::Baseline => 0,
+        crate::Scheme::Espresso => 1,
+        crate::Scheme::Sfccd => 2,
+        crate::Scheme::FfccdFenceFree => 3,
+        crate::Scheme::FfccdCheckLookup => 4,
+    }
+}

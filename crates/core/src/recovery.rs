@@ -1,0 +1,373 @@
+//! Post-crash recovery (paper §3.3.3 Observations 1–4, Figures 7b and 9b).
+//!
+//! `recover` runs on a freshly restarted machine *before* the pool is
+//! opened. It reads the persisted cycle header; when a compaction cycle was
+//! in flight it applies the scheme's recovery discipline to every PMFT
+//! mapping and then completes the cycle (the paper's `terminate()`), leaving
+//! a quiescent, consistent heap:
+//!
+//! * **Espresso** — `moved == 1` guarantees the copy persisted (two fences);
+//!   unmoved objects are re-copied (idempotent, Observation 1).
+//! * **SFCCD** — `moved == 1` no longer implies the copy persisted (the
+//!   copy's fence was removed); recovery compares destination with source
+//!   and re-copies on mismatch (Observation 2, Figure 7b).
+//! * **FFCCD** — no fences at all; the *reached bitmap* classifies each
+//!   object: not reached → undo reference updates (Observation 3); partially
+//!   reached → finish the copy for the lines that did not persist, leaving
+//!   reached lines (which may hold newer application data) alone
+//!   (Observation 4, Figure 9b).
+//!
+//! The recovery procedure itself is conservative: every write it makes is
+//! immediately persisted (§4.1: "with persist barriers and logging").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ffccd_arch::{GcMetaLayout, Pmft, PmftEntry};
+use ffccd_pmem::{lines_spanning, Ctx, PmEngine, CACHELINE_BYTES};
+use ffccd_pmop::{
+    FrameState, PmPtr, PoolError, PoolLayout, TypeRegistry, FRAME_BYTES, HDR_NUM_FRAMES,
+    HDR_OS_PAGE, OBJ_HEADER_BYTES, POOL_MAGIC, SLOT_BYTES,
+};
+
+use crate::config::Scheme;
+use crate::walk::walk_refs;
+
+/// What recovery found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Whether an in-flight cycle (or summary residue) was found.
+    pub had_cycle: bool,
+    /// Objects whose copy was already durable (nothing to do).
+    pub already_durable: u64,
+    /// Objects re-copied or finished by recovery.
+    pub finished: u64,
+    /// Objects whose relocation was undone (FFCCD not-reached).
+    pub undone: u64,
+    /// References rewritten (fixup + undo).
+    pub refs_fixed: u64,
+    /// Simulated cycles the recovery consumed.
+    pub cycles: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Fate {
+    Durable,
+    Finished,
+    Undone,
+}
+
+/// Runs crash recovery on a restarted engine. Safe (and cheap) to call when
+/// no cycle was in flight.
+///
+/// # Errors
+///
+/// Returns [`PoolError::BadPool`] if the media does not hold a pool.
+pub fn recover(
+    engine: &PmEngine,
+    registry: &TypeRegistry,
+    scheme: Scheme,
+) -> Result<RecoveryReport, PoolError> {
+    let (magic, os_page, num_frames) = engine.with_media(|m| {
+        (m.read_u64(0), m.read_u64(HDR_OS_PAGE), m.read_u64(HDR_NUM_FRAMES))
+    });
+    if magic != POOL_MAGIC {
+        return Err(PoolError::BadPool { reason: "bad magic" });
+    }
+    let layout = PoolLayout::compute(num_frames * FRAME_BYTES, os_page);
+    let meta = GcMetaLayout::from_pool(&layout);
+    let pmft = Pmft::new(meta);
+    let mut ctx = Ctx::new(engine.config());
+    let mut report = RecoveryReport::default();
+
+    let state = engine.read_u64(&mut ctx, meta.cycle_header);
+    let entries = pmft.load_all(engine);
+    if entries.is_empty() {
+        report.cycles = ctx.cycles();
+        return Ok(report);
+    }
+    report.had_cycle = true;
+
+    if state == 0 {
+        // Crash during the summary phase, before the cycle-header commit
+        // point: roll every persisted reservation back.
+        rollback_summary(&mut ctx, engine, &pmft, &meta, &layout, &entries);
+        report.cycles = ctx.cycles();
+        return Ok(report);
+    }
+
+    // ---- state == 1: an in-flight compaction cycle ---------------------------
+
+    // Classify and fix every mapping.
+    let mut fates: HashMap<(u64, usize), Fate> = HashMap::new();
+    for e in &entries {
+        for (src_slot, dst_slot) in e.mappings() {
+            let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
+            let dst = layout.frame_start(e.dest_frame) + dst_slot as u64 * SLOT_BYTES;
+            let word = engine.read_u64(&mut ctx, src);
+            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let moved = read_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
+            let fate = match scheme {
+                Scheme::Baseline => unreachable!("baseline never has a cycle"),
+                Scheme::Espresso => {
+                    // Observation 1: redo the copy unless moved (in which
+                    // case Espresso's fences guarantee it persisted).
+                    if moved {
+                        Fate::Durable
+                    } else {
+                        copy_persist(&mut ctx, engine, src, dst, total);
+                        set_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
+                        Fate::Finished
+                    }
+                }
+                Scheme::Sfccd => {
+                    // Observation 2 / Figure 7b: moved==1 may precede the
+                    // copy's durability; compare and re-copy on mismatch.
+                    if moved {
+                        let a = engine.read_vec(&mut ctx, src, total);
+                        let b = engine.read_vec(&mut ctx, dst, total);
+                        if a != b {
+                            copy_persist(&mut ctx, engine, src, dst, total);
+                            Fate::Finished
+                        } else {
+                            Fate::Durable
+                        }
+                    } else {
+                        copy_persist(&mut ctx, engine, src, dst, total);
+                        set_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
+                        Fate::Finished
+                    }
+                }
+                Scheme::FfccdFenceFree | Scheme::FfccdCheckLookup => {
+                    // Observation 4 / Figure 9b: consult the reached bitmap.
+                    let reached = engine.read_u64(&mut ctx, meta.reached_word(e.dest_frame));
+                    let frame_base = layout.frame_start(e.dest_frame);
+                    let obj_lines: Vec<u64> = lines_spanning(dst, total)
+                        .map(|l| (l.start() - frame_base) / CACHELINE_BYTES)
+                        .collect();
+                    let reached_count = obj_lines
+                        .iter()
+                        .filter(|&&b| reached >> b & 1 == 1)
+                        .count();
+                    if reached_count == 0 {
+                        // Not reached: the copy never hit PM. Undo below;
+                        // clear a possibly-persisted moved bit (its line may
+                        // have evicted ahead of the data).
+                        if moved {
+                            clear_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
+                        }
+                        Fate::Undone
+                    } else if reached_count == obj_lines.len() && moved {
+                        Fate::Durable
+                    } else {
+                        // Partially reached: finish the lines that did not
+                        // persist; reached lines may hold the application's
+                        // newer writes and must not be overwritten.
+                        for (i, line) in lines_spanning(dst, total).enumerate() {
+                            let bit = obj_lines[i];
+                            if reached >> bit & 1 == 1 {
+                                continue;
+                            }
+                            let seg_lo = dst.max(line.start());
+                            let seg_hi = (dst + total).min(line.end());
+                            let src_seg = src + (seg_lo - dst);
+                            let data = engine.read_vec(&mut ctx, src_seg, seg_hi - seg_lo);
+                            engine.write(&mut ctx, seg_lo, &data);
+                            engine.persist(&mut ctx, seg_lo, seg_hi - seg_lo);
+                        }
+                        set_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
+                        Fate::Finished
+                    }
+                }
+            };
+            match fate {
+                Fate::Durable => report.already_durable += 1,
+                Fate::Finished => report.finished += 1,
+                Fate::Undone => report.undone += 1,
+            }
+            fates.insert((e.reloc_frame, src_slot), fate);
+        }
+    }
+
+    // Reference fixup: redirect every surviving reference to the object's
+    // final location, persisting each rewrite (recovery is conservative).
+    let by_frame: HashMap<u64, &PmftEntry> = entries.iter().map(|e| (e.reloc_frame, e)).collect();
+    let dest_owner: HashMap<(u64, u8), (u64, usize)> = entries
+        .iter()
+        .flat_map(|e| {
+            e.mappings()
+                .map(move |(s, d)| ((e.dest_frame, d), (e.reloc_frame, s)))
+        })
+        .collect();
+    let mut refs_fixed = 0u64;
+    {
+        let engine2 = engine.clone();
+        walk_refs(&mut ctx, engine, registry, &layout, |ctx, slot_off, target| {
+            if target.is_null() {
+                return None;
+            }
+            let hdr = target.offset() - OBJ_HEADER_BYTES;
+            let frame = layout.frame_of(hdr)?;
+            let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
+            // Reference still points into a relocation frame?
+            if let Some(e) = by_frame.get(&frame) {
+                let d = e.lookup(slot)?;
+                match fates.get(&(frame, slot)) {
+                    Some(Fate::Undone) => None, // stays at source, correct
+                    _ => {
+                        let new_hdr =
+                            layout.frame_start(e.dest_frame) + d as u64 * SLOT_BYTES;
+                        let new = PmPtr::new(target.pool_id(), new_hdr + OBJ_HEADER_BYTES);
+                        engine2.write_u64(ctx, slot_off, new.raw());
+                        engine2.persist(ctx, slot_off, 8);
+                        refs_fixed += 1;
+                        Some(new)
+                    }
+                }
+            } else if slot < 256
+                && dest_owner.contains_key(&(frame, slot as u8))
+            {
+                let (sframe, sslot) = dest_owner[&(frame, slot as u8)];
+                // Reference points at a destination: undo it if the object
+                // was not reached (Observation 3).
+                if fates.get(&(sframe, sslot)) == Some(&Fate::Undone) {
+                    let old_hdr = layout.frame_start(sframe) + sslot as u64 * SLOT_BYTES;
+                    let old = PmPtr::new(target.pool_id(), old_hdr + OBJ_HEADER_BYTES);
+                    engine2.write_u64(ctx, slot_off, old.raw());
+                    engine2.persist(ctx, slot_off, 8);
+                    refs_fixed += 1;
+                    Some(old)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        });
+    }
+    report.refs_fixed = refs_fixed;
+
+    // Terminate the cycle: clear per-object residue so the pool reopens
+    // quiescent. Moved objects vacate their source slots; undone objects
+    // vacate their destination reservations.
+    for e in &entries {
+        let src_rec_off = layout.bitmap_record(e.reloc_frame);
+        let dst_rec_off = layout.bitmap_record(e.dest_frame);
+        let mut src_rec = record_at(engine, &mut ctx, src_rec_off);
+        let mut dst_rec = record_at(engine, &mut ctx, dst_rec_off);
+        for (src_slot, dst_slot) in e.mappings() {
+            let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
+            let word = engine.read_u64(&mut ctx, src);
+            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let slots = total.div_ceil(SLOT_BYTES) as usize;
+            // Tolerant clearing: the application may have pfree'd a moved
+            // object at its destination mid-cycle, so some bits may already
+            // be clear.
+            match fates.get(&(e.reloc_frame, src_slot)) {
+                Some(Fate::Undone) => {
+                    for i in 0..slots {
+                        dst_rec.mark_freed_single(dst_slot as usize + i);
+                    }
+                }
+                _ => {
+                    for i in 0..slots {
+                        src_rec.mark_freed_single(src_slot + i);
+                    }
+                }
+            }
+        }
+        write_record(engine, &mut ctx, src_rec_off, &src_rec);
+        write_record(engine, &mut ctx, dst_rec_off, &dst_rec);
+        // PMFT entry, frag bit, moved bitmap, reached word all reset.
+        pmft_clear(&mut ctx, engine, &pmft, e.reloc_frame);
+        let fb = meta.fragmap_byte(e.reloc_frame);
+        let byte = engine.read_vec(&mut ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+        engine.write(&mut ctx, fb, &[byte]);
+        engine.persist(&mut ctx, fb, 1);
+        engine.write(&mut ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
+        engine.persist(&mut ctx, meta.moved_bitmap(e.reloc_frame), 32);
+        engine.write_u64(&mut ctx, meta.reached_word(e.dest_frame), 0);
+        engine.persist(&mut ctx, meta.reached_word(e.dest_frame), 8);
+    }
+    engine.write_u64(&mut ctx, meta.cycle_header, 0);
+    engine.persist(&mut ctx, meta.cycle_header, 16);
+
+    report.cycles = ctx.cycles();
+    Ok(report)
+}
+
+fn record_at(engine: &PmEngine, ctx: &mut Ctx, off: u64) -> FrameState {
+    let rec: [u8; 64] = engine
+        .read_vec(ctx, off, 64)
+        .try_into()
+        .expect("64-byte record");
+    FrameState::from_record(&rec)
+}
+
+fn write_record(engine: &PmEngine, ctx: &mut Ctx, off: u64, st: &FrameState) {
+    engine.write(ctx, off, &st.to_record());
+    engine.persist(ctx, off, 64);
+}
+
+fn read_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) -> bool {
+    let off = meta.moved_bitmap(frame) + slot as u64 / 8;
+    engine.read_vec(ctx, off, 1)[0] >> (slot % 8) & 1 == 1
+}
+
+fn set_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) {
+    let off = meta.moved_bitmap(frame) + slot as u64 / 8;
+    let byte = engine.read_vec(ctx, off, 1)[0] | 1 << (slot % 8);
+    engine.write(ctx, off, &[byte]);
+    engine.persist(ctx, off, 1);
+}
+
+fn clear_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) {
+    let off = meta.moved_bitmap(frame) + slot as u64 / 8;
+    let byte = engine.read_vec(ctx, off, 1)[0] & !(1 << (slot % 8));
+    engine.write(ctx, off, &[byte]);
+    engine.persist(ctx, off, 1);
+}
+
+fn copy_persist(ctx: &mut Ctx, engine: &PmEngine, src: u64, dst: u64, total: u64) {
+    let data = engine.read_vec(ctx, src, total);
+    engine.write(ctx, dst, &data);
+    engine.persist(ctx, dst, total);
+}
+
+fn pmft_clear(ctx: &mut Ctx, engine: &PmEngine, pmft: &Pmft, frame: u64) {
+    pmft.clear(ctx, engine, frame);
+}
+
+/// Rolls back reservations persisted by a summary phase that never reached
+/// its commit point.
+fn rollback_summary(
+    ctx: &mut Ctx,
+    engine: &PmEngine,
+    pmft: &Pmft,
+    meta: &GcMetaLayout,
+    layout: &PoolLayout,
+    entries: &[PmftEntry],
+) {
+    for e in entries {
+        let dst_rec_off = layout.bitmap_record(e.dest_frame);
+        let mut dst_rec = record_at(engine, ctx, dst_rec_off);
+        for (src_slot, dst_slot) in e.mappings() {
+            let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
+            let word = engine.read_u64(ctx, src);
+            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let slots = total.div_ceil(SLOT_BYTES) as usize;
+            // The reservation may or may not have persisted; clear whatever
+            // is there, one slot at a time.
+            for i in 0..slots {
+                dst_rec.mark_freed_single(dst_slot as usize + i);
+            }
+        }
+        write_record(engine, ctx, dst_rec_off, &dst_rec);
+        pmft.clear(ctx, engine, e.reloc_frame);
+        let fb = meta.fragmap_byte(e.reloc_frame);
+        let byte = engine.read_vec(ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+        engine.write(ctx, fb, &[byte]);
+        engine.persist(ctx, fb, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests of end-to-end crash consistency: arbitrary operation
+//! mixes, crashes at arbitrary points, every scheme — data always survives.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ffccd::{validate_heap, DefragConfig, DefragHeap, Scheme};
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::{PmPtr, PoolConfig, TypeDesc, TypeRegistry};
+
+const NODE: ffccd_pmop::TypeId = ffccd_pmop::TypeId(0);
+const NEXT: u64 = 0;
+const KEY: u64 = 8;
+const SIZE: u64 = 96;
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.register(TypeDesc::new("node", SIZE as u32, &[NEXT as u32]));
+    reg
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Delete(u8),
+    Defrag,
+    Pump(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (1u64..1_000_000).prop_map(Op::Insert),
+            3 => any::<u8>().prop_map(Op::Delete),
+            1 => Just(Op::Defrag),
+            2 => (1u8..32).prop_map(Op::Pump),
+        ],
+        5..80,
+    )
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Espresso),
+        Just(Scheme::Sfccd),
+        Just(Scheme::FfccdFenceFree),
+        Just(Scheme::FfccdCheckLookup),
+    ]
+}
+
+/// Shared oracle: a persistent linked list driven by arbitrary ops with a
+/// crash at `crash_at`, validated after recovery.
+fn run_case(scheme: Scheme, ops: Vec<Op>, crash_at: usize, seed: u64) -> Result<(), TestCaseError> {
+    let defrag = DefragConfig {
+        min_live_bytes: 1 << 10,
+        cooldown_ops: 16,
+        ..DefragConfig::normal(scheme)
+    };
+    let heap = DefragHeap::create(
+        PoolConfig {
+            data_bytes: 2 << 20,
+            os_page_size: 4096,
+            machine: MachineConfig { seed, ..MachineConfig::default() },
+        },
+        registry(),
+        defrag,
+    )
+    .expect("heap");
+    let mut ctx = heap.ctx();
+    let mut model: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut image = None;
+    for (i, op) in ops.iter().enumerate() {
+        if i == crash_at {
+            image = Some((heap.engine().crash_image(), model.clone()));
+        }
+        match *op {
+            Op::Insert(k) => {
+                if model.contains_key(&k) {
+                    continue;
+                }
+                let n = heap.alloc(&mut ctx, NODE, SIZE).expect("alloc");
+                heap.write_u64(&mut ctx, n, KEY, k);
+                let head = heap.root(&mut ctx);
+                heap.store_ref(&mut ctx, n, NEXT, head);
+                heap.persist(&mut ctx, n, 0, SIZE);
+                heap.set_root(&mut ctx, n);
+                model.insert(k, ());
+            }
+            Op::Delete(nth) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let key = *model.keys().nth(nth as usize % model.len()).expect("nth");
+                // Unlink by key.
+                let mut prev = PmPtr::NULL;
+                let mut cur = heap.root(&mut ctx);
+                while !cur.is_null() {
+                    let next = heap.load_ref(&mut ctx, cur, NEXT);
+                    if heap.read_u64(&mut ctx, cur, KEY) == key {
+                        if prev.is_null() {
+                            heap.set_root(&mut ctx, next);
+                        } else {
+                            heap.store_ref(&mut ctx, prev, NEXT, next);
+                        }
+                        heap.free(&mut ctx, cur).expect("free");
+                        break;
+                    }
+                    prev = cur;
+                    cur = next;
+                }
+                model.remove(&key);
+            }
+            Op::Defrag => {
+                heap.maybe_defrag(&mut ctx);
+            }
+            Op::Pump(n) => {
+                heap.step_compaction(&mut ctx, n as usize);
+            }
+        }
+    }
+    let (image, expected) = match image {
+        Some(pair) => pair,
+        None => (heap.engine().crash_image(), model.clone()),
+    };
+    let (heap2, _report) =
+        DefragHeap::open_recovered(&image, registry(), DefragConfig::normal(scheme))
+            .expect("recovery");
+    validate_heap(&heap2).map_err(|e| {
+        TestCaseError::fail(format!("{scheme}: heap inconsistent after crash: {e:?}"))
+    })?;
+    // The list's key set must equal the model at crash time.
+    let mut ctx2 = heap2.ctx();
+    let mut got = BTreeMap::new();
+    let mut cur = heap2.root(&mut ctx2);
+    let mut hops = 0;
+    while !cur.is_null() {
+        got.insert(heap2.read_u64(&mut ctx2, cur, KEY), ());
+        cur = heap2.load_ref(&mut ctx2, cur, NEXT);
+        hops += 1;
+        prop_assert!(hops < 100_000, "cycle in recovered list");
+    }
+    prop_assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        expected.keys().collect::<Vec<_>>(),
+        "{} seed {}: recovered key set diverged",
+        scheme,
+        seed
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn crash_anywhere_data_survives(
+        scheme in scheme_strategy(),
+        ops in ops(),
+        crash_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let crash_at = (ops.len() as f64 * crash_frac) as usize;
+        run_case(scheme, ops, crash_at, seed)?;
+    }
+}

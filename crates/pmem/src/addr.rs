@@ -1,0 +1,142 @@
+//! Cacheline addressing helpers.
+//!
+//! All PM state in the simulation is addressed by a `u64` byte offset into
+//! the engine's media. Cachelines are the persistence granularity: the WPQ,
+//! the reached bitmap and the `pending` bit all operate on [`Line`]s.
+
+use std::fmt;
+
+/// Size of a cacheline in bytes (x86: 64 bytes).
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// Index of a cacheline within the simulated media (byte offset / 64).
+///
+/// A newtype so that cacheline indices cannot be confused with byte offsets.
+///
+/// # Example
+///
+/// ```
+/// use ffccd_pmem::{line_of, Line};
+/// assert_eq!(line_of(0), Line(0));
+/// assert_eq!(line_of(63), Line(0));
+/// assert_eq!(line_of(64), Line(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Line(pub u64);
+
+impl Line {
+    /// Byte offset of the first byte of this line.
+    #[inline]
+    pub fn start(self) -> u64 {
+        self.0 * CACHELINE_BYTES
+    }
+
+    /// Byte offset one past the last byte of this line.
+    #[inline]
+    pub fn end(self) -> u64 {
+        self.start() + CACHELINE_BYTES
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.start())
+    }
+}
+
+/// The line containing byte offset `off`.
+#[inline]
+pub fn line_of(off: u64) -> Line {
+    Line(off / CACHELINE_BYTES)
+}
+
+/// Byte offset of the start of the line containing `off`.
+#[inline]
+pub fn line_start(off: u64) -> u64 {
+    off - off % CACHELINE_BYTES
+}
+
+/// Iterator over every line touched by the byte range `[off, off + len)`.
+///
+/// An empty range yields no lines.
+///
+/// # Example
+///
+/// ```
+/// use ffccd_pmem::{lines_spanning, Line};
+/// let lines: Vec<_> = lines_spanning(60, 8).collect();
+/// assert_eq!(lines, vec![Line(0), Line(1)]);
+/// assert_eq!(lines_spanning(0, 0).count(), 0);
+/// ```
+pub fn lines_spanning(off: u64, len: u64) -> impl Iterator<Item = Line> {
+    let first = if len == 0 { 1 } else { off / CACHELINE_BYTES };
+    let last = if len == 0 {
+        0
+    } else {
+        (off + len - 1) / CACHELINE_BYTES
+    };
+    (first..=last).map(Line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_maps_to_64_byte_buckets() {
+        assert_eq!(line_of(0), Line(0));
+        assert_eq!(line_of(1), Line(0));
+        assert_eq!(line_of(64), Line(1));
+        assert_eq!(line_of(127), Line(1));
+        assert_eq!(line_of(128), Line(2));
+    }
+
+    #[test]
+    fn line_start_and_end() {
+        let l = Line(3);
+        assert_eq!(l.start(), 192);
+        assert_eq!(l.end(), 256);
+        assert_eq!(line_start(200), 192);
+        assert_eq!(line_start(192), 192);
+    }
+
+    #[test]
+    fn spanning_single_line() {
+        let v: Vec<_> = lines_spanning(10, 8).collect();
+        assert_eq!(v, vec![Line(0)]);
+    }
+
+    #[test]
+    fn spanning_exact_boundaries() {
+        let v: Vec<_> = lines_spanning(64, 64).collect();
+        assert_eq!(v, vec![Line(1)]);
+        let v: Vec<_> = lines_spanning(64, 65).collect();
+        assert_eq!(v, vec![Line(1), Line(2)]);
+    }
+
+    #[test]
+    fn spanning_empty_is_empty() {
+        assert_eq!(lines_spanning(123, 0).count(), 0);
+    }
+
+    #[test]
+    fn spanning_large_object() {
+        // A 256-byte object starting mid-line touches 5 lines.
+        let v: Vec<_> = lines_spanning(32, 256).collect();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], Line(0));
+        assert_eq!(v[4], Line(4));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert!(!format!("{}", Line(2)).is_empty());
+        assert!(!format!("{:?}", Line(2)).is_empty());
+    }
+}

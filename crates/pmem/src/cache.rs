@@ -1,0 +1,311 @@
+//! Simulated volatile cache.
+//!
+//! One simplified cache level stands in for the L1/L2 hierarchy: what
+//! matters for FFCCD is *which dirty lines have not reached the persistence
+//! domain*, and which of those carry the `pending` bit planted by the
+//! `relocate` instruction (paper §4.2, Figure 10: "Tagged Normal Cache").
+
+use std::collections::HashMap;
+
+use crate::addr::{Line, CACHELINE_BYTES};
+use crate::media::Media;
+
+/// One cached line: 64 data bytes plus dirty/pending state.
+#[derive(Clone, Debug)]
+pub struct CacheLine {
+    /// Current (possibly unpersisted) contents.
+    pub data: [u8; CACHELINE_BYTES as usize],
+    /// Whether the line differs from media (must be written back).
+    pub dirty: bool,
+    /// FFCCD pending bit: the line was written by `relocate` and its
+    /// persistence must be reported to the reached bitmap.
+    pub pending: bool,
+}
+
+/// The volatile cache: a map from [`Line`] to [`CacheLine`] with bounded
+/// capacity and deterministic pseudo-random victim selection.
+#[derive(Debug)]
+pub struct CacheSim {
+    lines: HashMap<Line, CacheLine>,
+    capacity: usize,
+    rng: u64,
+}
+
+/// A line evicted from the cache, headed for the WPQ (if dirty).
+#[derive(Clone, Debug)]
+pub struct Evicted {
+    /// Which line.
+    pub line: Line,
+    /// Its contents at eviction time.
+    pub data: [u8; CACHELINE_BYTES as usize],
+    /// Whether it must be written back.
+    pub dirty: bool,
+    /// FFCCD pending bit.
+    pub pending: bool,
+}
+
+impl CacheSim {
+    /// Creates an empty cache of `capacity` lines.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        CacheSim {
+            lines: HashMap::with_capacity(capacity.min(1 << 16)),
+            capacity: capacity.max(1),
+            rng: seed | 1,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Whether `line` is resident (hit).
+    pub fn contains(&self, line: Line) -> bool {
+        self.lines.contains_key(&line)
+    }
+
+    /// Immutable view of a resident line.
+    pub fn peek(&self, line: Line) -> Option<&CacheLine> {
+        self.lines.get(&line)
+    }
+
+    /// Ensures `line` is resident, filling from `media` on a miss.
+    /// Returns `true` on a hit, `false` on a miss (fill performed).
+    /// May evict a victim into `evicted_out`.
+    pub fn touch(
+        &mut self,
+        line: Line,
+        media: &Media,
+        evicted_out: &mut Vec<Evicted>,
+    ) -> bool {
+        if self.lines.contains_key(&line) {
+            return true;
+        }
+        self.make_room(evicted_out);
+        let data = media.read_line(line);
+        self.lines.insert(
+            line,
+            CacheLine {
+                data,
+                dirty: false,
+                pending: false,
+            },
+        );
+        false
+    }
+
+    /// Writes `data` into the (resident) line at byte `offset_in_line`,
+    /// marking it dirty and OR-ing in `pending`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident or the write exceeds the line.
+    pub fn write_resident(&mut self, line: Line, offset_in_line: usize, data: &[u8], pending: bool) {
+        let cl = self
+            .lines
+            .get_mut(&line)
+            .expect("write_resident: line not resident");
+        cl.data[offset_in_line..offset_in_line + data.len()].copy_from_slice(data);
+        cl.dirty = true;
+        cl.pending |= pending;
+    }
+
+    /// Reads from the (resident) line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident or the read exceeds the line.
+    pub fn read_resident(&self, line: Line, offset_in_line: usize, buf: &mut [u8]) {
+        let cl = self
+            .lines
+            .get(&line)
+            .expect("read_resident: line not resident");
+        buf.copy_from_slice(&cl.data[offset_in_line..offset_in_line + buf.len()]);
+    }
+
+    /// Removes the line's dirty/pending status, returning the writeback data
+    /// if it was dirty. The line stays resident but clean (clwb semantics:
+    /// write back, do not invalidate).
+    pub fn clean(&mut self, line: Line) -> Option<Evicted> {
+        let cl = self.lines.get_mut(&line)?;
+        if !cl.dirty {
+            return None;
+        }
+        let ev = Evicted {
+            line,
+            data: cl.data,
+            dirty: true,
+            pending: cl.pending,
+        };
+        cl.dirty = false;
+        cl.pending = false;
+        Some(ev)
+    }
+
+    /// Evicts one pseudo-random *dirty* line if any exists (the background
+    /// "natural writeback" path). Returns the evicted line.
+    pub fn evict_random_dirty(&mut self) -> Option<Evicted> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        // Collecting dirty keys each call would be O(n); instead probe a few
+        // random buckets via iteration order. HashMap iteration order is
+        // effectively random but stable per map state; skip a pseudo-random
+        // number of entries.
+        let n = self.lines.len();
+        let skip = (self.next_rand() as usize) % n;
+        let key = self
+            .lines
+            .iter()
+            .skip(skip)
+            .chain(self.lines.iter())
+            .find(|(_, v)| v.dirty)
+            .map(|(k, _)| *k)?;
+        let cl = self.lines.remove(&key).expect("key just found");
+        Some(Evicted {
+            line: key,
+            data: cl.data,
+            dirty: true,
+            pending: cl.pending,
+        })
+    }
+
+    fn make_room(&mut self, evicted_out: &mut Vec<Evicted>) {
+        while self.lines.len() >= self.capacity {
+            let n = self.lines.len();
+            let skip = (self.next_rand() as usize) % n;
+            let key = *self
+                .lines
+                .keys()
+                .nth(skip)
+                .expect("skip < len, key must exist");
+            let cl = self.lines.remove(&key).expect("key just found");
+            if cl.dirty {
+                evicted_out.push(Evicted {
+                    line: key,
+                    data: cl.data,
+                    dirty: true,
+                    pending: cl.pending,
+                });
+            }
+        }
+    }
+
+    /// Drops every line (crash: volatile state vanishes).
+    pub fn invalidate_all(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Iterates over all resident dirty lines (used by non-destructive crash
+    /// snapshots to know what *not* to persist).
+    pub fn dirty_lines(&self) -> impl Iterator<Item = (Line, &CacheLine)> {
+        self.lines.iter().filter(|(_, v)| v.dirty).map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn media() -> Media {
+        Media::new(64 * 256)
+    }
+
+    #[test]
+    fn touch_miss_then_hit() {
+        let m = media();
+        let mut c = CacheSim::new(8, 1);
+        let mut ev = Vec::new();
+        assert!(!c.touch(Line(3), &m, &mut ev));
+        assert!(c.touch(Line(3), &m, &mut ev));
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn write_marks_dirty_and_pending() {
+        let m = media();
+        let mut c = CacheSim::new(8, 1);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev);
+        c.write_resident(Line(0), 4, &[1, 2], true);
+        let cl = c.peek(Line(0)).expect("resident");
+        assert!(cl.dirty);
+        assert!(cl.pending);
+        assert_eq!(cl.data[4], 1);
+        assert_eq!(cl.data[5], 2);
+    }
+
+    #[test]
+    fn clean_returns_writeback_once() {
+        let m = media();
+        let mut c = CacheSim::new(8, 1);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev);
+        c.write_resident(Line(0), 0, &[9], false);
+        let wb = c.clean(Line(0)).expect("dirty line yields writeback");
+        assert!(wb.dirty);
+        assert_eq!(wb.data[0], 9);
+        // Second clean: nothing to write back.
+        assert!(c.clean(Line(0)).is_none());
+        // Line remains resident and readable.
+        let mut b = [0u8; 1];
+        c.read_resident(Line(0), 0, &mut b);
+        assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn capacity_eviction_surfaces_dirty_victims() {
+        let m = media();
+        let mut c = CacheSim::new(2, 42);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev);
+        c.write_resident(Line(0), 0, &[7], false);
+        c.touch(Line(1), &m, &mut ev);
+        c.write_resident(Line(1), 0, &[8], false);
+        // Third line forces an eviction; both residents are dirty, so the
+        // victim must appear in `ev`.
+        c.touch(Line(2), &m, &mut ev);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].dirty);
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn evict_random_dirty_prefers_dirty() {
+        let m = media();
+        let mut c = CacheSim::new(8, 5);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev); // clean
+        c.touch(Line(1), &m, &mut ev);
+        c.write_resident(Line(1), 0, &[1], true);
+        let got = c.evict_random_dirty().expect("one dirty line exists");
+        assert_eq!(got.line, Line(1));
+        assert!(got.pending);
+        assert!(c.evict_random_dirty().is_none());
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let m = media();
+        let mut c = CacheSim::new(8, 5);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev);
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert!(!c.contains(Line(0)));
+    }
+}

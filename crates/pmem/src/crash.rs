@@ -1,0 +1,69 @@
+//! Crash images: post-power-failure machine state for fault injection.
+
+use crate::engine::PmEngine;
+use crate::media::Media;
+use crate::timing::MachineConfig;
+
+/// What the persistent media contains after a simulated power failure.
+///
+/// Produced (non-destructively) by [`PmEngine::crash_image`]: the WPQ has
+/// been ADR-flushed, the observer (Reached Bitmap Buffer) has flushed its
+/// buffered bitmap words, and everything that was only in the volatile cache
+/// is gone. Restart the machine with [`CrashImage::restart`] and run the
+/// scheme's recovery procedure on it.
+#[derive(Clone, Debug)]
+pub struct CrashImage {
+    media: Media,
+    cfg: MachineConfig,
+}
+
+impl CrashImage {
+    /// Wraps post-crash media (used by the engine).
+    pub fn new(media: Media, cfg: MachineConfig) -> Self {
+        CrashImage { media, cfg }
+    }
+
+    /// Read-only view of the surviving bytes.
+    pub fn media(&self) -> &Media {
+        &self.media
+    }
+
+    /// Boots a fresh machine from this image, optionally with a different
+    /// seed (recovery runs see different eviction schedules than the
+    /// crashed run).
+    pub fn restart(&self) -> PmEngine {
+        PmEngine::from_media(self.cfg.clone(), self.media.clone())
+    }
+
+    /// Boots a fresh machine, overriding the RNG seed.
+    pub fn restart_with_seed(&self, seed: u64) -> PmEngine {
+        let cfg = MachineConfig { seed, ..self.cfg.clone() };
+        PmEngine::from_media(cfg, self.media.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+
+    #[test]
+    fn restart_preserves_persisted_data() {
+        let e = PmEngine::new(MachineConfig::default(), 1 << 16);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, b"durable!");
+        e.persist(&mut ctx, 0, 8);
+        let img = e.crash_image();
+        let e2 = img.restart();
+        let mut ctx2 = Ctx::new(e2.config());
+        assert_eq!(e2.read_vec(&mut ctx2, 0, 8), b"durable!");
+    }
+
+    #[test]
+    fn restart_with_seed_changes_config() {
+        let e = PmEngine::new(MachineConfig::default(), 1 << 16);
+        let img = e.crash_image();
+        let e2 = img.restart_with_seed(99);
+        assert_eq!(e2.config().seed, 99);
+    }
+}

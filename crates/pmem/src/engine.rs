@@ -1,0 +1,656 @@
+//! The PM engine: cache + WPQ + media with cycle accounting.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::addr::{line_of, lines_spanning, Line, CACHELINE_BYTES};
+use crate::cache::{CacheSim, Evicted};
+use crate::crash::CrashImage;
+use crate::ctx::Ctx;
+use crate::media::Media;
+use crate::observer::PersistObserver;
+use crate::stats::EngineStats;
+use crate::timing::MachineConfig;
+use crate::wpq::{Wpq, WpqEntry};
+
+struct Inner {
+    media: Media,
+    cache: CacheSim,
+    wpq: Wpq,
+    stats: EngineStats,
+    observer: Option<Arc<dyn PersistObserver>>,
+    evict_roll: u64,
+}
+
+/// A simulated persistent-memory machine shared by all threads.
+///
+/// Cloning is cheap (`Arc` internally); all methods take `&self` and an
+/// exclusive per-thread [`Ctx`] for cycle/stat accounting.
+///
+/// # Persistence semantics
+///
+/// A store becomes durable when its cacheline reaches the *persistence
+/// domain*: either drained from the WPQ into media, or sitting in the WPQ at
+/// crash time (ADR flushes the WPQ). Dirty lines still in the cache are lost
+/// on crash. Lines leave the cache three ways:
+///
+/// 1. [`PmEngine::clwb`] followed by [`PmEngine::sfence`] (explicit),
+/// 2. capacity eviction,
+/// 3. seeded background eviction (≈ one dirty line per `evict_denom` stores),
+///    modelling the "natural cache eviction" FFCCD's lazy persistence relies
+///    on (§3.3.3).
+#[derive(Clone)]
+pub struct PmEngine {
+    inner: Arc<Mutex<Inner>>,
+    cfg: Arc<MachineConfig>,
+}
+
+impl std::fmt::Debug for PmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmEngine").field("len", &self.len()).finish()
+    }
+}
+
+impl PmEngine {
+    /// Creates an engine with zeroed media of `len` bytes.
+    pub fn new(cfg: MachineConfig, len: u64) -> Self {
+        Self::from_media(cfg, Media::new(len))
+    }
+
+    /// Creates an engine over existing media (post-crash restart).
+    pub fn from_media(cfg: MachineConfig, media: Media) -> Self {
+        let cache = CacheSim::new(cfg.cache_capacity_lines, cfg.seed ^ 0xcafe);
+        let wpq = Wpq::new(cfg.wpq_capacity);
+        PmEngine {
+            inner: Arc::new(Mutex::new(Inner {
+                media,
+                cache,
+                wpq,
+                stats: EngineStats::default(),
+                observer: None,
+                evict_roll: cfg.seed | 1,
+            })),
+            cfg: Arc::new(cfg),
+        }
+    }
+
+    /// The machine configuration this engine charges cycles from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Media capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().media.len()
+    }
+
+    /// Whether the media has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs the persistence observer (FFCCD's Reached Bitmap Buffer).
+    pub fn set_observer(&self, obs: Arc<dyn PersistObserver>) {
+        self.inner.lock().observer = Some(obs);
+    }
+
+    /// Removes the persistence observer (end of a GC cycle).
+    pub fn clear_observer(&self) {
+        self.inner.lock().observer = None;
+    }
+
+    /// Engine-global counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.lock().stats
+    }
+
+    // ---- simulated accesses -------------------------------------------------
+
+    /// Simulated load of `buf.len()` bytes at `off`.
+    ///
+    /// Misses within one call overlap (memory-level parallelism): the first
+    /// missing line pays the full PM latency, subsequent ones only the
+    /// bandwidth cost — a streaming `memcpy` is not a chain of serial
+    /// misses.
+    pub fn read(&self, ctx: &mut Ctx, off: u64, buf: &mut [u8]) {
+        let mut inner = self.inner.lock();
+        ctx.stats.loads += 1;
+        // One outstanding writeback retires per memory operation (the WPQ
+        // accepts lines while the core does other work).
+        ctx.unfenced_clwbs = ctx.unfenced_clwbs.saturating_sub(1);
+        let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
+        ctx.charge(tlb_cost);
+        let mut cursor = 0usize;
+        let mut missed = false;
+        for line in lines_spanning(off, buf.len() as u64) {
+            let start = off.max(line.start());
+            let end = (off + buf.len() as u64).min(line.end());
+            let within = (start - line.start()) as usize;
+            let len = (end - start) as usize;
+            inner.access_line(&self.cfg, ctx, line, false, &mut missed);
+            inner
+                .cache
+                .read_resident(line, within, &mut buf[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+
+    /// Simulated load returning a fresh vector.
+    pub fn read_vec(&self, ctx: &mut Ctx, off: u64, len: u64) -> Vec<u8> {
+        let mut v = vec![0u8; len as usize];
+        self.read(ctx, off, &mut v);
+        v
+    }
+
+    /// Simulated little-endian `u64` load.
+    pub fn read_u64(&self, ctx: &mut Ctx, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(ctx, off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Simulated store of `data` at `off`.
+    pub fn write(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
+        self.write_impl(ctx, off, data, false)
+    }
+
+    /// Simulated store that also plants the FFCCD *pending* bit on every
+    /// touched line (the `relocate` instruction's store half, §4.2).
+    pub fn write_pending(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
+        self.write_impl(ctx, off, data, true)
+    }
+
+    /// Simulated little-endian `u64` store.
+    pub fn write_u64(&self, ctx: &mut Ctx, off: u64, v: u64) {
+        self.write(ctx, off, &v.to_le_bytes());
+    }
+
+    fn write_impl(&self, ctx: &mut Ctx, off: u64, data: &[u8], pending: bool) {
+        let mut inner = self.inner.lock();
+        ctx.stats.stores += 1;
+        ctx.unfenced_clwbs = ctx.unfenced_clwbs.saturating_sub(1);
+        let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
+        ctx.charge(tlb_cost);
+        let mut cursor = 0usize;
+        let mut missed = false;
+        for line in lines_spanning(off, data.len() as u64) {
+            let start = off.max(line.start());
+            let end = (off + data.len() as u64).min(line.end());
+            let within = (start - line.start()) as usize;
+            let len = (end - start) as usize;
+            inner.access_line(&self.cfg, ctx, line, true, &mut missed);
+            inner
+                .cache
+                .write_resident(line, within, &data[cursor..cursor + len], pending);
+            cursor += len;
+        }
+        inner.maybe_background_evict(&self.cfg);
+        inner.background_drain(1);
+    }
+
+    /// `clwb`: queue a writeback of the line containing `off` (line stays
+    /// cached, now clean). No-op for clean/absent lines.
+    pub fn clwb(&self, ctx: &mut Ctx, off: u64) {
+        let mut inner = self.inner.lock();
+        ctx.stats.clwbs += 1;
+        ctx.charge(self.cfg.clwb_cost);
+        let line = line_of(off);
+        if let Some(ev) = inner.cache.clean(line) {
+            ctx.unfenced_clwbs += 1;
+            inner.queue_writeback(&self.cfg, ev, Some(ctx));
+        }
+    }
+
+    /// `sfence`: stall until pending writebacks reach the persistence
+    /// domain.
+    ///
+    /// Under ADR the persistence domain is the *write pending queue*, not
+    /// the media: a fence waits for queue entry (Table 2's 30-cycle WPQ
+    /// latency), while the queue drains to media asynchronously. Sustained
+    /// flushing still stalls — a full queue backpressures `clwb` at the PM
+    /// write-bandwidth cost.
+    pub fn sfence(&self, ctx: &mut Ctx) {
+        let mut inner = self.inner.lock();
+        ctx.stats.sfences += 1;
+        // The fence waits for every writeback this thread issued since its
+        // last fence to be accepted by the persistence domain.
+        ctx.charge(self.cfg.wpq_latency * (1 + ctx.unfenced_clwbs));
+        ctx.stats.wpq_drained += ctx.unfenced_clwbs;
+        ctx.unfenced_clwbs = 0;
+        // Asynchronous drain progress happens while the core stalls.
+        inner.background_drain(1);
+    }
+
+    /// Convenience: `clwb` every line of `[off, off+len)` then `sfence` —
+    /// one full persist barrier (the unit Espresso pays twice per barrier).
+    pub fn persist(&self, ctx: &mut Ctx, off: u64, len: u64) {
+        for line in lines_spanning(off, len) {
+            self.clwb(ctx, line.start());
+        }
+        self.sfence(ctx);
+    }
+
+    // ---- crash / direct access ----------------------------------------------
+
+    /// Produces a *non-destructive* crash image: what media would contain if
+    /// power failed right now. ADR drains the WPQ (and the observer's
+    /// buffered state) into the image; dirty cache lines are lost. The live
+    /// engine is unaffected — fault-injection takes many images per run.
+    pub fn crash_image(&self) -> CrashImage {
+        let inner = self.inner.lock();
+        let mut media = inner.media.clone();
+        let mut in_flight = Vec::new();
+        for e in inner.wpq.entries() {
+            media.write_line(e.line, &e.data);
+            if e.pending {
+                in_flight.push(e.line);
+            }
+        }
+        if self.cfg.eadr {
+            // eADR: residual power flushes the entire cache hierarchy, so
+            // dirty lines are durable too (and pending lines "reach").
+            for (line, cl) in inner.cache.dirty_lines() {
+                media.write_line(line, &cl.data);
+                if cl.pending {
+                    in_flight.push(line);
+                }
+            }
+        }
+        if let Some(obs) = &inner.observer {
+            obs.crash_flush(&mut media, &in_flight);
+        }
+        CrashImage::new(media, self.cfg.as_ref().clone())
+    }
+
+    /// Runs `f` with a read-only view of the raw media (validators).
+    pub fn with_media<R>(&self, f: impl FnOnce(&Media) -> R) -> R {
+        f(&self.inner.lock().media)
+    }
+
+    /// Runs `f` with mutable raw media access, bypassing the simulation.
+    ///
+    /// Only for pool *formatting* at creation time; anything modelling real
+    /// program behaviour must use the simulated accessors.
+    pub fn with_media_mut<R>(&self, f: impl FnOnce(&mut Media) -> R) -> R {
+        f(&mut self.inner.lock().media)
+    }
+
+    /// Direct (unsimulated, uncharged) read used by validation tooling.
+    pub fn peek_vec(&self, off: u64, len: u64) -> Vec<u8> {
+        // A validator must see the *current logical* contents: cache first,
+        // then WPQ, then media.
+        let inner = self.inner.lock();
+        let mut v = vec![0u8; len as usize];
+        let mut cursor = 0usize;
+        for line in lines_spanning(off, len) {
+            let start = off.max(line.start());
+            let end = (off + len).min(line.end());
+            let within = (start - line.start()) as usize;
+            let n = (end - start) as usize;
+            let data: [u8; CACHELINE_BYTES as usize] = if let Some(cl) = inner.cache.peek(line) {
+                cl.data
+            } else if let Some(e) = inner.wpq.entries().find(|e| e.line == line) {
+                e.data
+            } else {
+                inner.media.read_line(line)
+            };
+            v[cursor..cursor + n].copy_from_slice(&data[within..within + n]);
+            cursor += n;
+        }
+        v
+    }
+
+    /// Direct logical `u64` read (see [`PmEngine::peek_vec`]).
+    pub fn peek_u64(&self, off: u64) -> u64 {
+        let v = self.peek_vec(off, 8);
+        u64::from_le_bytes(v.try_into().expect("8 bytes"))
+    }
+}
+
+impl Inner {
+    /// Asynchronous WPQ → media drain: the memory controller retires up to
+    /// `n` queued lines per core event, off the critical path.
+    fn background_drain(&mut self, n: usize) {
+        for _ in 0..n {
+            match self.wpq.pop() {
+                Some(e) => self.commit_to_media(e),
+                None => break,
+            }
+        }
+    }
+
+    /// Ensures `line` is resident and charges hit/miss cost. `missed`
+    /// carries miss state across the lines of one access: overlapped misses
+    /// after the first pay only the bandwidth cost.
+    fn access_line(
+        &mut self,
+        cfg: &MachineConfig,
+        ctx: &mut Ctx,
+        line: Line,
+        store: bool,
+        missed: &mut bool,
+    ) {
+        if self.cache.contains(line) {
+            ctx.stats.cache_hits += 1;
+            ctx.charge(if store {
+                cfg.store_hit_latency
+            } else {
+                cfg.cache_hit_latency
+            });
+            return;
+        }
+        ctx.stats.cache_misses += 1;
+        ctx.charge(if *missed {
+            cfg.pm_write_cost // bandwidth-bound follow-up miss
+        } else {
+            cfg.pm_read_latency
+        });
+        *missed = true;
+        // Fill must observe WPQ contents newer than media.
+        let mut evicted = Vec::new();
+        if let Some(e) = self.wpq.entries().find(|e| e.line == line).cloned() {
+            self.cache.touch(line, &self.media, &mut evicted);
+            self.cache.write_resident(line, 0, &e.data, false);
+            // The cache copy now matches the queued writeback; mark clean so
+            // we do not persist it twice.
+            let _ = self.cache.clean(line);
+        } else {
+            self.cache.touch(line, &self.media, &mut evicted);
+        }
+        for ev in evicted {
+            self.stats.evictions += 1;
+            self.queue_writeback(cfg, ev, None);
+        }
+    }
+
+    /// Background eviction: roughly one dirty line per `evict_denom` stores.
+    fn maybe_background_evict(&mut self, cfg: &MachineConfig) {
+        let mut x = self.evict_roll;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.evict_roll = x;
+        if x.wrapping_mul(0x2545_F491_4F6C_DD1D).is_multiple_of(cfg.evict_denom as u64) {
+            if let Some(ev) = self.cache.evict_random_dirty() {
+                self.stats.evictions += 1;
+                self.queue_writeback(cfg, ev, None);
+            }
+        }
+    }
+
+    /// Pushes a writeback into the WPQ, draining the oldest entry first when
+    /// full. `ctx` is `Some` only on synchronous paths (clwb backpressure).
+    fn queue_writeback(&mut self, cfg: &MachineConfig, ev: Evicted, ctx: Option<&mut Ctx>) {
+        debug_assert!(ev.dirty);
+        if self.wpq.is_full() {
+            if let Some(old) = self.wpq.pop() {
+                if let Some(c) = ctx {
+                    c.charge(cfg.pm_write_cost);
+                }
+                self.commit_to_media(old);
+            }
+        }
+        if ev.pending {
+            self.stats.pending_lines_queued += 1;
+        }
+        self.wpq.push(WpqEntry {
+            line: ev.line,
+            data: ev.data,
+            pending: ev.pending,
+        });
+    }
+
+    /// Final durability: write the line to media, notifying the observer of
+    /// pending lines (reached-bitmap update).
+    fn commit_to_media(&mut self, e: WpqEntry) {
+        self.media.write_line(e.line, &e.data);
+        self.stats.media_line_writes += 1;
+        if e.pending {
+            self.stats.pending_lines_persisted += 1;
+            if let Some(obs) = self.observer.clone() {
+                obs.pending_line_persisted(&mut self.media, e.line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PmEngine {
+        PmEngine::new(MachineConfig::default(), 1 << 20)
+    }
+
+    #[test]
+    fn read_after_write_same_thread() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 100, &[1, 2, 3]);
+        assert_eq!(e.read_vec(&mut ctx, 100, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unflushed_write_does_not_reach_crash_image() {
+        // Large evict_denom + tiny write count: the dirty line stays cached.
+        let cfg = MachineConfig {
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 20);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xAA; 8]);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn clwb_sfence_makes_write_durable() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xAA; 8]);
+        e.clwb(&mut ctx, 0);
+        e.sfence(&mut ctx);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0xAA; 8]);
+    }
+
+    #[test]
+    fn clwb_without_sfence_is_adr_durable() {
+        // Once in the WPQ, ADR guarantees durability even without sfence.
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xBB; 8]);
+        e.clwb(&mut ctx, 0);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0xBB; 8]);
+    }
+
+    #[test]
+    fn persist_helper_covers_multi_line_ranges() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        let data = vec![7u8; 200];
+        e.write(&mut ctx, 30, &data);
+        e.persist(&mut ctx, 30, 200);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(30, 200), data);
+    }
+
+    #[test]
+    fn sfence_is_expensive_clwb_cheap() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[1; 64]);
+        let before = ctx.cycles();
+        e.clwb(&mut ctx, 0);
+        let clwb_cost = ctx.cycles() - before;
+        let before = ctx.cycles();
+        e.sfence(&mut ctx);
+        let sfence_cost = ctx.cycles() - before;
+        assert!(
+            sfence_cost > clwb_cost,
+            "sfence ({sfence_cost}) must out-cost clwb ({clwb_cost})"
+        );
+    }
+
+    #[test]
+    fn fill_observes_wpq_not_stale_media() {
+        // Write, clwb (into WPQ), then force the line out of the cache by
+        // using a tiny cache, and read back: the fill must see WPQ data.
+        let cfg = MachineConfig {
+            cache_capacity_lines: 2,
+            wpq_capacity: 64,
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 20);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xCC; 8]);
+        e.clwb(&mut ctx, 0);
+        // Thrash the 2-line cache.
+        for i in 1..10u64 {
+            e.write(&mut ctx, i * 64, &[0; 8]);
+        }
+        assert_eq!(e.read_vec(&mut ctx, 0, 8), vec![0xCC; 8]);
+    }
+
+    #[test]
+    fn eviction_lazily_persists_without_fences() {
+        // With aggressive background eviction, most writes end up durable
+        // even though the program never fences — FFCCD's lazy persistence.
+        let cfg = MachineConfig {
+            evict_denom: 2,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 20);
+        let mut ctx = Ctx::new(e.config());
+        for i in 0..1000u64 {
+            e.write(&mut ctx, i * 64, &[i as u8; 8]);
+        }
+        let img = e.crash_image();
+        let persisted = (0..1000u64)
+            .filter(|&i| i != 0 && img.media().read_vec(i * 64, 1)[0] == i as u8)
+            .count();
+        assert!(
+            persisted > 300,
+            "background eviction should persist many lines, got {persisted}"
+        );
+        assert!(
+            persisted < 1000 || e.stats().evictions >= 1000,
+            "some tail lines should still be volatile"
+        );
+    }
+
+    #[test]
+    fn crash_image_is_nondestructive() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[5; 8]);
+        let _img = e.crash_image();
+        // Live engine still sees the cached write.
+        assert_eq!(e.read_vec(&mut ctx, 0, 8), vec![5; 8]);
+    }
+
+    #[test]
+    fn peek_sees_logical_state() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write_u64(&mut ctx, 64, 42);
+        assert_eq!(e.peek_u64(64), 42);
+        e.clwb(&mut ctx, 64);
+        assert_eq!(e.peek_u64(64), 42);
+        e.sfence(&mut ctx);
+        assert_eq!(e.peek_u64(64), 42);
+    }
+
+    #[test]
+    fn write_pending_counts_in_stats() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write_pending(&mut ctx, 0, &[1; 64]);
+        e.clwb(&mut ctx, 0);
+        e.sfence(&mut ctx);
+        let st = e.stats();
+        assert_eq!(st.pending_lines_queued, 1);
+        assert_eq!(st.pending_lines_persisted, 1);
+    }
+
+    #[test]
+    fn tlb_pressure_raises_cycle_cost() {
+        let e = PmEngine::new(MachineConfig::default(), 4 << 20);
+        // Touch 2 pages repeatedly vs 512 pages repeatedly.
+        let mut ctx_few = Ctx::new(e.config());
+        for i in 0..2000u64 {
+            e.read_u64(&mut ctx_few, (i % 2) * 4096);
+        }
+        let mut ctx_many = Ctx::new(e.config());
+        for i in 0..2000u64 {
+            e.read_u64(&mut ctx_many, (i % 512) * 4096);
+        }
+        assert!(ctx_many.cycles() > ctx_few.cycles());
+    }
+}
+
+#[cfg(test)]
+mod eadr_tests {
+    use super::*;
+
+    #[test]
+    fn eadr_makes_unfenced_writes_durable() {
+        let cfg = MachineConfig {
+            eadr: true,
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 16);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 128, b"no fences at all");
+        let img = e.crash_image();
+        assert_eq!(&img.media().read_vec(128, 16), b"no fences at all");
+    }
+
+    #[test]
+    fn adr_loses_the_same_write() {
+        let cfg = MachineConfig {
+            eadr: false,
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 16);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 128, b"no fences at all");
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(128, 16), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn eadr_pending_lines_count_as_reached() {
+        use std::sync::Arc;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counter(AtomicU64);
+        impl crate::observer::PersistObserver for Counter {
+            fn pending_line_persisted(&self, _m: &mut Media, _l: Line) {}
+            fn crash_flush(&self, _m: &mut Media, in_flight: &[Line]) {
+                self.0.fetch_add(in_flight.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let cfg = MachineConfig {
+            eadr: true,
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 16);
+        let counter = Arc::new(Counter(AtomicU64::new(0)));
+        e.set_observer(counter.clone());
+        let mut ctx = Ctx::new(e.config());
+        e.write_pending(&mut ctx, 0, &[7u8; 64]);
+        let _ = e.crash_image();
+        assert_eq!(
+            counter.0.load(Ordering::Relaxed),
+            1,
+            "pending cache line reaches persistence under eADR"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The persistent media: the only state that survives a crash.
+
+use crate::addr::{Line, CACHELINE_BYTES};
+
+/// Raw persistent-memory media contents.
+///
+/// Reads and writes here are *direct*: they bypass the simulated cache and
+/// charge no cycles. The engine uses `Media` as the durable backing store;
+/// recovery validators and crash images use it to inspect post-crash state.
+///
+/// # Panics
+///
+/// All accessors panic on out-of-range offsets — an out-of-range access is a
+/// bug in the simulation, not a recoverable condition.
+#[derive(Clone)]
+pub struct Media {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for Media {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Media").field("len", &self.bytes.len()).finish()
+    }
+}
+
+impl Media {
+    /// Creates zero-initialized media of `len` bytes (rounded up to a line).
+    pub fn new(len: u64) -> Self {
+        let len = len.div_ceil(CACHELINE_BYTES) * CACHELINE_BYTES;
+        Media {
+            bytes: vec![0u8; len as usize],
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Whether the media has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, off: u64, len: u64) {
+        assert!(
+            off + len <= self.len(),
+            "media access out of range: off={off:#x} len={len} capacity={:#x}",
+            self.len()
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `off`.
+    pub fn read(&self, off: u64, buf: &mut [u8]) {
+        self.check(off, buf.len() as u64);
+        buf.copy_from_slice(&self.bytes[off as usize..off as usize + buf.len()]);
+    }
+
+    /// Reads `len` bytes starting at `off` into a fresh vector.
+    pub fn read_vec(&self, off: u64, len: u64) -> Vec<u8> {
+        let mut v = vec![0u8; len as usize];
+        self.read(off, &mut v);
+        v
+    }
+
+    /// Writes `data` starting at `off`.
+    pub fn write(&mut self, off: u64, data: &[u8]) {
+        self.check(off, data.len() as u64);
+        self.bytes[off as usize..off as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    pub fn read_u64(&self, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `off`.
+    pub fn write_u64(&mut self, off: u64, v: u64) {
+        self.write(off, &v.to_le_bytes());
+    }
+
+    /// Reads the full 64-byte cacheline `line`.
+    pub fn read_line(&self, line: Line) -> [u8; CACHELINE_BYTES as usize] {
+        let mut b = [0u8; CACHELINE_BYTES as usize];
+        self.read(line.start(), &mut b);
+        b
+    }
+
+    /// Writes the full 64-byte cacheline `line`.
+    pub fn write_line(&mut self, line: Line, data: &[u8; CACHELINE_BYTES as usize]) {
+        self.write(line.start(), data);
+    }
+
+    /// View of the raw bytes (for checksum-style validation in tests).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut m = Media::new(1024);
+        m.write(100, &[1, 2, 3, 4]);
+        assert_eq!(m.read_vec(100, 4), vec![1, 2, 3, 4]);
+        // Untouched bytes stay zero.
+        assert_eq!(m.read_vec(104, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let mut m = Media::new(1024);
+        m.write_u64(8, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(8), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = Media::new(1024);
+        let data = [7u8; 64];
+        m.write_line(Line(2), &data);
+        assert_eq!(m.read_line(Line(2)), data);
+        assert_eq!(m.read_vec(128, 64), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn capacity_rounds_to_line() {
+        let m = Media::new(100);
+        assert_eq!(m.len(), 128);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let m = Media::new(64);
+        let mut b = [0u8; 8];
+        m.read(60, &mut b);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Media::new(128);
+        a.write(0, &[9]);
+        let mut b = a.clone();
+        b.write(0, &[5]);
+        assert_eq!(a.read_vec(0, 1), vec![9]);
+        assert_eq!(b.read_vec(0, 1), vec![5]);
+    }
+}

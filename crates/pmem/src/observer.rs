@@ -1,0 +1,52 @@
+//! Hook connecting the persistence domain to FFCCD's reached-bitmap hardware.
+
+use crate::addr::Line;
+use crate::media::Media;
+
+/// Observer invoked by the engine when lines cross into durability.
+///
+/// The FFCCD Reached Bitmap Buffer (`ffccd-arch::Rbb`) implements this: each
+/// *pending* line that drains from the WPQ to media sets the line's bit in
+/// the reached bitmap (paper Figure 10, steps 3–5), and on power failure the
+/// buffered bitmap words are flushed to media alongside the WPQ (§4.2 "after
+/// power off, the content in RBB will be flushed into PM").
+///
+/// Methods receive `&mut Media` directly because the RBB lives in the memory
+/// controller: its writes do not traverse the cache hierarchy and charge no
+/// application-thread cycles (its latency is charged to `relocate`).
+pub trait PersistObserver: Send + Sync {
+    /// A line carrying the pending bit has reached media during normal
+    /// operation.
+    fn pending_line_persisted(&self, media: &mut Media, line: Line);
+
+    /// Power failure: persist all buffered observer state into `media`, plus
+    /// the `in_flight` pending lines that ADR is draining from the WPQ.
+    ///
+    /// Must not mutate the observer itself — the engine also uses this for
+    /// *non-destructive* crash snapshots (`PmEngine::crash_image`), where the
+    /// live run continues afterwards.
+    fn crash_flush(&self, media: &mut Media, in_flight: &[Line]);
+}
+
+/// A no-op observer for schemes without FFCCD hardware (Espresso, SFCCD).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl PersistObserver for NullObserver {
+    fn pending_line_persisted(&self, _media: &mut Media, _line: Line) {}
+    fn crash_flush(&self, _media: &mut Media, _in_flight: &[Line]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_does_nothing() {
+        let obs = NullObserver;
+        let mut m = Media::new(128);
+        obs.pending_line_persisted(&mut m, Line(0));
+        obs.crash_flush(&mut m, &[Line(1)]);
+        assert!(m.as_bytes().iter().all(|&b| b == 0));
+    }
+}

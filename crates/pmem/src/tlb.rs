@@ -1,0 +1,171 @@
+//! Simulated two-level TLB.
+//!
+//! Fragmentation inflates the memory footprint, which inflates the number of
+//! live pages, which thrashes the TLB — this is the mechanism by which
+//! defragmentation *improves* application throughput in the paper (Figure 1
+//! and §7.2 "the fragmentation causes more TLB entries and reduces cache
+//! locality"). The model is a two-level, fully-associative-with-random-
+//! replacement TLB; sizes and latencies come from Table 2.
+
+use crate::stats::ThreadStats;
+use crate::timing::MachineConfig;
+
+/// A per-core (per-[`crate::Ctx`]) two-level TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    l1: Vec<u64>,
+    l2: Vec<u64>,
+    l1_cap: usize,
+    l2_cap: usize,
+    l1_latency: u64,
+    l2_latency: u64,
+    miss_penalty: u64,
+    page_size: u64,
+    // Cheap xorshift state for victim selection (deterministic).
+    rng: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB using the sizes/latencies in `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Tlb {
+            l1: Vec::with_capacity(cfg.tlb_l1_entries),
+            l2: Vec::with_capacity(cfg.tlb_l2_entries),
+            l1_cap: cfg.tlb_l1_entries,
+            l2_cap: cfg.tlb_l2_entries,
+            l1_latency: cfg.tlb_l1_latency,
+            l2_latency: cfg.tlb_l2_latency,
+            miss_penalty: cfg.tlb_miss_penalty,
+            page_size: cfg.tlb_page_size,
+            rng: cfg.seed | 1,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Translates the page containing byte offset `off`; returns the cycle
+    /// cost and updates hit/miss counters in `stats`.
+    pub fn access(&mut self, off: u64, stats: &mut ThreadStats) -> u64 {
+        let page = off / self.page_size;
+        if self.l1.contains(&page) {
+            stats.tlb_l1_hits += 1;
+            return self.l1_latency;
+        }
+        if let Some(pos) = self.l2.iter().position(|&p| p == page) {
+            stats.tlb_l2_hits += 1;
+            // Promote to L1.
+            self.l2.swap_remove(pos);
+            self.insert_l1(page);
+            return self.l1_latency + self.l2_latency;
+        }
+        stats.tlb_misses += 1;
+        self.insert_l1(page);
+        self.l1_latency + self.l2_latency + self.miss_penalty
+    }
+
+    fn insert_l1(&mut self, page: u64) {
+        if self.l1.len() == self.l1_cap {
+            let victim_idx = (self.next_rand() as usize) % self.l1.len();
+            let victim = self.l1.swap_remove(victim_idx);
+            self.insert_l2(victim);
+        }
+        self.l1.push(page);
+    }
+
+    fn insert_l2(&mut self, page: u64) {
+        if self.l2.len() == self.l2_cap {
+            let victim_idx = (self.next_rand() as usize) % self.l2.len();
+            self.l2.swap_remove(victim_idx);
+        }
+        self.l2.push(page);
+    }
+
+    /// Drops all translations (e.g. after a simulated pool re-open).
+    pub fn flush(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> MachineConfig {
+        MachineConfig {
+            tlb_l1_entries: 2,
+            tlb_l2_entries: 4,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let cfg = tiny_cfg();
+        let mut tlb = Tlb::new(&cfg);
+        let mut st = ThreadStats::default();
+        let miss_cost = tlb.access(0, &mut st);
+        assert_eq!(st.tlb_misses, 1);
+        assert_eq!(miss_cost, cfg.tlb_l1_latency + cfg.tlb_l2_latency + cfg.tlb_miss_penalty);
+        let hit_cost = tlb.access(8, &mut st); // same page
+        assert_eq!(st.tlb_l1_hits, 1);
+        assert_eq!(hit_cost, cfg.tlb_l1_latency);
+    }
+
+    #[test]
+    fn eviction_to_l2_then_promotion() {
+        let cfg = tiny_cfg();
+        let mut tlb = Tlb::new(&cfg);
+        let mut st = ThreadStats::default();
+        // Fill L1 beyond capacity: pages 0,1,2 with L1 cap 2.
+        for p in 0..3u64 {
+            tlb.access(p * cfg.tlb_page_size, &mut st);
+        }
+        assert_eq!(st.tlb_misses, 3);
+        // One of pages 0..2 now sits in L2; touching all three again must
+        // produce at least one L2 hit (promotion) and zero full misses.
+        let before_misses = st.tlb_misses;
+        for p in 0..3u64 {
+            tlb.access(p * cfg.tlb_page_size, &mut st);
+        }
+        assert_eq!(st.tlb_misses, before_misses);
+        assert!(st.tlb_l2_hits >= 1);
+    }
+
+    #[test]
+    fn more_pages_more_misses() {
+        // The fragmentation→TLB effect: touching 64 pages round-robin misses
+        // more than touching 2 pages for the same access count.
+        let cfg = tiny_cfg();
+        let mut st_few = ThreadStats::default();
+        let mut tlb = Tlb::new(&cfg);
+        for i in 0..1000u64 {
+            tlb.access((i % 2) * cfg.tlb_page_size, &mut st_few);
+        }
+        let mut st_many = ThreadStats::default();
+        let mut tlb = Tlb::new(&cfg);
+        for i in 0..1000u64 {
+            tlb.access((i % 64) * cfg.tlb_page_size, &mut st_many);
+        }
+        assert!(st_many.tlb_misses > st_few.tlb_misses * 10);
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let cfg = tiny_cfg();
+        let mut tlb = Tlb::new(&cfg);
+        let mut st = ThreadStats::default();
+        tlb.access(0, &mut st);
+        tlb.flush();
+        tlb.access(0, &mut st);
+        assert_eq!(st.tlb_misses, 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Write Pending Queue — the edge of the persistence domain.
+//!
+//! On ADR platforms the WPQ lives in the memory controller and is flushed to
+//! media by residual power on failure, so a store is durable the moment it
+//! enters the queue. FFCCD augments each WPQ entry with a *pending* bit
+//! (paper Figure 10): when a pending entry drains to media, the Reached
+//! Bitmap Buffer records that the destination cacheline "has reached
+//! persistence".
+
+use std::collections::VecDeque;
+
+use crate::addr::{Line, CACHELINE_BYTES};
+
+/// One queued writeback.
+#[derive(Clone, Debug)]
+pub struct WpqEntry {
+    /// Destination line.
+    pub line: Line,
+    /// Data to write.
+    pub data: [u8; CACHELINE_BYTES as usize],
+    /// FFCCD pending bit carried from the cache.
+    pub pending: bool,
+}
+
+/// Bounded FIFO of writebacks inside the persistence domain.
+#[derive(Debug, Default)]
+pub struct Wpq {
+    entries: VecDeque<WpqEntry>,
+    capacity: usize,
+}
+
+impl Wpq {
+    /// Creates an empty queue with room for `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        Wpq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of queued lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether accepting one more entry requires draining first.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a writeback. If a newer write to the same line is queued the
+    /// entries coalesce (last write wins, pending bits OR).
+    pub fn push(&mut self, entry: WpqEntry) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.line == entry.line) {
+            existing.data = entry.data;
+            existing.pending |= entry.pending;
+            return;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<WpqEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Drains every entry (sfence or ADR power-failure flush).
+    pub fn drain_all(&mut self) -> Vec<WpqEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Immutable view of queued entries (crash snapshots).
+    pub fn entries(&self) -> impl Iterator<Item = &WpqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64, byte: u8, pending: bool) -> WpqEntry {
+        WpqEntry {
+            line: Line(line),
+            data: [byte; 64],
+            pending,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Wpq::new(4);
+        q.push(entry(1, 1, false));
+        q.push(entry(2, 2, false));
+        assert_eq!(q.pop().map(|e| e.line), Some(Line(1)));
+        assert_eq!(q.pop().map(|e| e.line), Some(Line(2)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut q = Wpq::new(4);
+        q.push(entry(1, 1, true));
+        q.push(entry(1, 9, false));
+        assert_eq!(q.len(), 1);
+        let e = q.pop().expect("one entry");
+        assert_eq!(e.data[0], 9, "last write wins");
+        assert!(e.pending, "pending bit is sticky");
+    }
+
+    #[test]
+    fn full_and_drain() {
+        let mut q = Wpq::new(2);
+        q.push(entry(1, 1, false));
+        assert!(!q.is_full());
+        q.push(entry(2, 2, true));
+        assert!(q.is_full());
+        let all = q.drain_all();
+        assert_eq!(all.len(), 2);
+        assert!(q.is_empty());
+    }
+}

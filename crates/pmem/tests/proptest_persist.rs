@@ -1,0 +1,152 @@
+//! Property tests of the persistence semantics — the foundation every
+//! crash-consistency argument in the repository rests on.
+
+use proptest::prelude::*;
+
+use ffccd_pmem::{Ctx, MachineConfig, PmEngine};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { off: u64, byte: u8, len: u8 },
+    Persist { off: u64, len: u8 },
+    Sfence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8192, any::<u8>(), 1u8..64).prop_map(|(off, byte, len)| Op::Write {
+            off,
+            byte,
+            len
+        }),
+        (0u64..8192, 1u8..64).prop_map(|(off, len)| Op::Persist { off, len }),
+        Just(Op::Sfence),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anything written *and persisted* survives a crash, regardless of the
+    /// surrounding operation mix or the eviction schedule: each persisted
+    /// byte's post-crash value is the persisted value or a *later-written*
+    /// one (a later unpersisted store may legitimately become durable via
+    /// eviction) — never anything older.
+    #[test]
+    fn persisted_writes_survive_crashes(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MachineConfig { seed, ..MachineConfig::default() };
+        let engine = PmEngine::new(cfg, 16 << 10);
+        let mut ctx = Ctx::new(engine.config());
+        // Per byte: the last persisted value, plus values written after
+        // that persist (any of which may be durable at crash time).
+        let mut persisted: Vec<Option<u8>> = vec![None; 16 << 10];
+        let mut later: Vec<std::collections::BTreeSet<u8>> =
+            vec![Default::default(); 16 << 10];
+        let mut dirty: Vec<Option<u8>> = vec![None; 16 << 10];
+        for op in &ops {
+            match *op {
+                Op::Write { off, byte, len } => {
+                    let len = len as u64;
+                    let end = (off + len).min(16 << 10);
+                    let data = vec![byte; (end - off) as usize];
+                    engine.write(&mut ctx, off, &data);
+                    for i in off..end {
+                        dirty[i as usize] = Some(byte);
+                        if persisted[i as usize].is_some() {
+                            later[i as usize].insert(byte);
+                        }
+                    }
+                }
+                Op::Persist { off, len } => {
+                    let len = len as u64;
+                    let end = (off + len).min(16 << 10);
+                    engine.persist(&mut ctx, off, end - off);
+                    // Persist is line-granular: everything dirty on the
+                    // touched lines becomes durable.
+                    let lo = off / 64 * 64;
+                    let hi = (end + 63) / 64 * 64;
+                    for i in lo..hi.min(16 << 10) {
+                        if let Some(b) = dirty[i as usize] {
+                            persisted[i as usize] = Some(b);
+                            later[i as usize].clear();
+                        }
+                    }
+                }
+                Op::Sfence => engine.sfence(&mut ctx),
+            }
+        }
+        let img = engine.crash_image();
+        for (i, expect) in persisted.iter().enumerate() {
+            if let Some(b) = expect {
+                let got = img.media().read_vec(i as u64, 1)[0];
+                prop_assert!(
+                    got == *b || later[i].contains(&got),
+                    "persisted byte {} regressed: got {}, persisted {}, later {:?}",
+                    i,
+                    got,
+                    b,
+                    later[i]
+                );
+            }
+        }
+    }
+
+    /// The logical view (reads) always reflects the program order of
+    /// writes, whatever the cache/WPQ do underneath.
+    #[test]
+    fn reads_see_program_order(
+        writes in proptest::collection::vec((0u64..4096, any::<u8>()), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MachineConfig {
+            seed,
+            cache_capacity_lines: 8, // force heavy eviction traffic
+            wpq_capacity: 4,
+            evict_denom: 2,
+            ..MachineConfig::default()
+        };
+        let engine = PmEngine::new(cfg, 8 << 10);
+        let mut ctx = Ctx::new(engine.config());
+        let mut shadow = vec![0u8; 4096 + 1];
+        for &(off, b) in &writes {
+            engine.write(&mut ctx, off, &[b]);
+            shadow[off as usize] = b;
+        }
+        for &(off, _) in &writes {
+            let got = engine.read_vec(&mut ctx, off, 1)[0];
+            prop_assert_eq!(got, shadow[off as usize]);
+        }
+    }
+
+    /// A crash image is always a *prefix-consistent* mix: every byte equals
+    /// either the last persisted value or a later written value — never
+    /// something neither written nor initial.
+    #[test]
+    fn crash_images_contain_only_written_values(
+        writes in proptest::collection::vec((0u64..1024, 1u8..=255), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MachineConfig { seed, evict_denom: 2, ..MachineConfig::default() };
+        let engine = PmEngine::new(cfg, 4 << 10);
+        let mut ctx = Ctx::new(engine.config());
+        let mut possible: Vec<std::collections::BTreeSet<u8>> =
+            vec![[0u8].into_iter().collect(); 1024];
+        for &(off, b) in &writes {
+            engine.write(&mut ctx, off, &[b]);
+            possible[off as usize].insert(b);
+        }
+        let img = engine.crash_image();
+        for off in 0..1024usize {
+            let got = img.media().read_vec(off as u64, 1)[0];
+            prop_assert!(
+                possible[off].contains(&got),
+                "byte {} has value {} never written there",
+                off,
+                got
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Pool error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::PmPool`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// The pool's data region cannot satisfy the allocation.
+    OutOfMemory {
+        /// Bytes requested (header included).
+        requested: u64,
+    },
+    /// A pointer did not reference a live object in this pool.
+    InvalidPointer {
+        /// The offending pointer's raw value.
+        raw: u64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The media does not contain a pool (bad magic) or the geometry
+    /// disagrees with the registry/config.
+    BadPool {
+        /// Description of the mismatch.
+        reason: &'static str,
+    },
+    /// Allocation larger than the supported maximum.
+    AllocationTooLarge {
+        /// Requested payload size.
+        requested: u64,
+        /// Maximum supported payload size.
+        max: u64,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::OutOfMemory { requested } => {
+                write!(f, "pool out of memory (requested {requested} bytes)")
+            }
+            PoolError::InvalidPointer { raw, reason } => {
+                write!(f, "invalid persistent pointer {raw:#x}: {reason}")
+            }
+            PoolError::BadPool { reason } => write!(f, "not a valid pool: {reason}"),
+            PoolError::AllocationTooLarge { requested, max } => {
+                write!(f, "allocation of {requested} bytes exceeds maximum of {max}")
+            }
+        }
+    }
+}
+
+impl Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = PoolError::OutOfMemory { requested: 64 };
+        let s = e.to_string();
+        assert!(s.starts_with("pool out of memory"));
+        let e = PoolError::InvalidPointer { raw: 0x10, reason: "stale" };
+        assert!(e.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_all<T: Error + Send + Sync + 'static>() {}
+        assert_all::<PoolError>();
+    }
+}

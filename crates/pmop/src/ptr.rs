@@ -1,0 +1,145 @@
+//! Offset-based persistent pointers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit persistent pointer: pool id in the top 16 bits, byte offset
+/// within the pool in the low 48 bits (paper §2.2.1).
+///
+/// Offsets make pointers *relocatable*: the pool may map at a different
+/// virtual base in every run, and pointers remain valid. The null pointer is
+/// the all-zero value.
+///
+/// # Example
+///
+/// ```
+/// use ffccd_pmop::PmPtr;
+/// let p = PmPtr::new(1, 0x1000);
+/// assert_eq!(p.pool_id(), 1);
+/// assert_eq!(p.offset(), 0x1000);
+/// assert!(!p.is_null());
+/// assert!(PmPtr::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PmPtr(u64);
+
+impl PmPtr {
+    /// The null persistent pointer.
+    pub const NULL: PmPtr = PmPtr(0);
+
+    /// Maximum representable offset (48 bits).
+    pub const MAX_OFFSET: u64 = (1 << 48) - 1;
+
+    /// Creates a pointer into pool `pool_id` at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds 48 bits or if `pool_id == 0` (pool id 0 is
+    /// reserved so that the all-zero encoding means null).
+    pub fn new(pool_id: u16, offset: u64) -> Self {
+        assert!(offset <= Self::MAX_OFFSET, "offset exceeds 48 bits");
+        assert!(pool_id != 0, "pool id 0 is reserved for null");
+        PmPtr(((pool_id as u64) << 48) | offset)
+    }
+
+    /// Reconstructs a pointer from its raw persisted representation.
+    pub fn from_raw(raw: u64) -> Self {
+        PmPtr(raw)
+    }
+
+    /// The raw representation stored in PM.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The owning pool id (0 for null).
+    pub fn pool_id(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+
+    /// Byte offset within the pool.
+    pub fn offset(self) -> u64 {
+        self.0 & Self::MAX_OFFSET
+    }
+
+    /// Whether this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// A pointer to the same pool at `offset + delta`.
+    ///
+    /// Named after `std::ptr::add` deliberately — it is pointer arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on null or on 48-bit overflow.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, delta: u64) -> Self {
+        assert!(!self.is_null(), "cannot offset the null pointer");
+        PmPtr::new(self.pool_id(), self.offset() + delta)
+    }
+}
+
+impl fmt::Debug for PmPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PmPtr(NULL)")
+        } else {
+            write!(f, "PmPtr({}:{:#x})", self.pool_id(), self.offset())
+        }
+    }
+}
+
+impl fmt::Display for PmPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let p = PmPtr::new(7, 0x0000_1234_5678);
+        assert_eq!(p.pool_id(), 7);
+        assert_eq!(p.offset(), 0x0000_1234_5678);
+        assert_eq!(PmPtr::from_raw(p.raw()), p);
+    }
+
+    #[test]
+    fn null_is_zero() {
+        assert_eq!(PmPtr::NULL.raw(), 0);
+        assert_eq!(PmPtr::default(), PmPtr::NULL);
+        assert_eq!(PmPtr::NULL.pool_id(), 0);
+    }
+
+    #[test]
+    fn add_moves_offset() {
+        let p = PmPtr::new(1, 100).add(28);
+        assert_eq!(p.offset(), 128);
+        assert_eq!(p.pool_id(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn oversized_offset_panics() {
+        let _ = PmPtr::new(1, 1 << 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn pool_zero_panics() {
+        let _ = PmPtr::new(0, 8);
+    }
+
+    #[test]
+    fn debug_shows_pool_and_offset() {
+        let s = format!("{:?}", PmPtr::new(2, 0x40));
+        assert!(s.contains('2') && s.contains("0x40"), "{s}");
+        assert_eq!(format!("{:?}", PmPtr::NULL), "PmPtr(NULL)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Typed allocation: the type registry that lets GC tell pointers from data.
+
+use std::fmt;
+
+/// Identifier of a registered object type; stored in every object header.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub u32);
+
+/// Layout description of one persistent object type.
+///
+/// `ref_offsets` are byte offsets *within the payload* of fields holding a
+/// raw [`crate::PmPtr`]; the GC marking phase follows exactly those. Types
+/// with variable payload (strings, arrays of bytes) keep their references,
+/// if any, at fixed prefix offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDesc {
+    /// Human-readable type name (diagnostics only).
+    pub name: String,
+    /// Payload size in bytes; `0` means variable-sized (taken from the
+    /// object header at allocation time).
+    pub payload_size: u32,
+    /// Byte offsets of reference fields within the payload.
+    pub ref_offsets: Vec<u32>,
+}
+
+impl TypeDesc {
+    /// Creates a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reference offset is not 8-byte aligned or overflows a
+    /// fixed payload.
+    pub fn new(name: &str, payload_size: u32, ref_offsets: &[u32]) -> Self {
+        for &off in ref_offsets {
+            assert!(off % 8 == 0, "reference offsets must be 8-byte aligned");
+            if payload_size != 0 {
+                assert!(
+                    off + 8 <= payload_size,
+                    "reference at {off} exceeds payload of {payload_size}"
+                );
+            }
+        }
+        TypeDesc {
+            name: name.to_owned(),
+            payload_size,
+            ref_offsets: ref_offsets.to_vec(),
+        }
+    }
+
+    /// Whether the payload size is fixed at registration time.
+    pub fn is_fixed_size(&self) -> bool {
+        self.payload_size != 0
+    }
+}
+
+/// Registry of all object types a pool can allocate.
+///
+/// PM programming models require creators to record type information for
+/// future runs (paper §3.1, observation 2); the registry is that record.
+#[derive(Clone, Debug, Default)]
+pub struct TypeRegistry {
+    descs: Vec<TypeDesc>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a type, returning its stable id.
+    pub fn register(&mut self, desc: TypeDesc) -> TypeId {
+        self.descs.push(desc);
+        TypeId(self.descs.len() as u32 - 1)
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered id — an unregistered id in an object header
+    /// means heap corruption, which must fail loudly.
+    pub fn get(&self, id: TypeId) -> &TypeDesc {
+        self.descs
+            .get(id.0 as usize)
+            .unwrap_or_else(|| panic!("unregistered type id {id:?}"))
+    }
+
+    /// Looks up a descriptor, returning `None` for unregistered ids
+    /// (validators probing possibly-corrupt headers).
+    pub fn try_get(&self, id: TypeId) -> Option<&TypeDesc> {
+        self.descs.get(id.0 as usize)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Whether no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register(TypeDesc::new("a", 32, &[0, 8]));
+        let b = reg.register(TypeDesc::new("b", 0, &[]));
+        assert_ne!(a, b);
+        assert_eq!(reg.get(a).name, "a");
+        assert_eq!(reg.get(a).ref_offsets, vec![0, 8]);
+        assert!(!reg.get(b).is_fixed_size());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_ref_panics() {
+        let _ = TypeDesc::new("bad", 32, &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds payload")]
+    fn overflowing_ref_panics() {
+        let _ = TypeDesc::new("bad", 8, &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_id_panics() {
+        let reg = TypeRegistry::new();
+        let _ = reg.get(TypeId(3));
+    }
+
+    #[test]
+    fn variable_size_allows_any_prefix_ref() {
+        let d = TypeDesc::new("var", 0, &[0, 8, 16]);
+        assert_eq!(d.ref_offsets.len(), 3);
+    }
+}

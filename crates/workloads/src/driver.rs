@@ -1,0 +1,446 @@
+//! The evaluation driver: runs the paper's §6 op mix — an insertion init
+//! phase, then alternating delete / insert / delete phases — while pumping
+//! concurrent defragmentation and sampling the fragmentation metrics.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use ffccd::{DefragConfig, DefragHeap, GcStatsSnapshot, Scheme};
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::PoolConfig;
+
+use crate::util::KeyGen;
+use crate::workload::Workload;
+
+/// The §6 op mix: `init` insertions, then `phases` alternating phases
+/// (delete, insert, delete, …) of `phase_ops` operations each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseMix {
+    /// Initial insertions (paper: 5 M, scaled down).
+    pub init: usize,
+    /// Operations per phase (paper: 4 M, scaled down).
+    pub phase_ops: usize,
+    /// Number of alternating phases (paper: 3 — delete, insert, delete).
+    pub phases: usize,
+}
+
+impl PhaseMix {
+    /// The paper's mix scaled by `1/scale` (e.g. `scale = 500` → 10 000
+    /// init inserts, 8 000 ops per phase).
+    pub fn paper_scaled(scale: usize) -> Self {
+        PhaseMix {
+            init: 5_000_000 / scale,
+            phase_ops: 4_000_000 / scale,
+            phases: 3,
+        }
+    }
+
+    /// A tiny mix for unit tests.
+    pub fn tiny() -> Self {
+        PhaseMix {
+            init: 400,
+            phase_ops: 300,
+            phases: 3,
+        }
+    }
+}
+
+/// Full driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Defragmentation scheme + thresholds.
+    pub defrag: DefragConfig,
+    /// Pool geometry.
+    pub pool: PoolConfig,
+    /// Inclusive value-size range (paper: 128-byte values; Redis 240–492).
+    pub value_size: (usize, usize),
+    /// Operation mix.
+    pub mix: PhaseMix,
+    /// Seed for keys and machine.
+    pub seed: u64,
+    /// Record a fragmentation sample every this many ops.
+    pub sample_every: usize,
+    /// Objects the GC relocates per pump (models the concurrent GC
+    /// thread's progress between application ops).
+    pub gc_batch: usize,
+}
+
+impl DriverConfig {
+    /// A sane default around `scheme`: 32 MiB pool, 4 KiB pages, 128-byte
+    /// values, paper mix at 1/500 scale.
+    pub fn new(scheme: Scheme) -> Self {
+        DriverConfig {
+            defrag: match scheme {
+                Scheme::Baseline => DefragConfig::baseline(),
+                s => DefragConfig::normal(s),
+            },
+            pool: PoolConfig {
+                data_bytes: 32 << 20,
+                os_page_size: 4096,
+                machine: MachineConfig::default(),
+            },
+            value_size: (128, 128),
+            mix: PhaseMix::paper_scaled(500),
+            seed: 0xFFCC_D,
+            sample_every: 64,
+            gc_batch: 32,
+        }
+    }
+}
+
+/// One fragmentation sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Operation index at sampling time.
+    pub op: u64,
+    /// Committed footprint bytes.
+    pub footprint: u64,
+    /// Live bytes.
+    pub live: u64,
+}
+
+/// Everything a run produced (the raw material of Tables 3/4 and Figures
+/// 14/15).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme that ran.
+    pub scheme: Scheme,
+    /// Operations executed (init + phases).
+    pub ops: u64,
+    /// Mean committed footprint over all samples (bytes).
+    pub avg_footprint: f64,
+    /// Mean live bytes over all samples.
+    pub avg_live: f64,
+    /// Mean fragmentation ratio over all samples.
+    pub avg_frag: f64,
+    /// Application-thread simulated cycles (read barriers included).
+    pub app_cycles: u64,
+    /// GC-driver simulated cycles (the concurrent collector thread).
+    pub gc_driver_cycles: u64,
+    /// GC phase breakdown.
+    pub gc: GcStatsSnapshot,
+    /// Fragmentation time series.
+    pub samples: Vec<Sample>,
+    /// Per-op application latency maxima (cycles): (p50, p90, p99, max).
+    pub latency: (u64, u64, u64, u64),
+}
+
+impl RunResult {
+    /// Footprint reduction versus a baseline run, as the paper's Equation 1
+    /// fragmentation-reduction percentage.
+    pub fn fragmentation_reduction_vs(&self, baseline: &RunResult) -> f64 {
+        let reduction = baseline.avg_footprint - self.avg_footprint;
+        let over = baseline.avg_footprint - baseline.avg_live;
+        if over <= 0.0 {
+            0.0
+        } else {
+            (reduction / over * 100.0).clamp(-100.0, 100.0)
+        }
+    }
+
+    /// Mean cycles per operation (inverse throughput).
+    pub fn cycles_per_op(&self) -> f64 {
+        self.app_cycles as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Runs `workload` shared by `threads` application threads plus one
+/// concurrent defragmentation thread. Structure operations serialize on a
+/// workload mutex inside a [`DefragHeap::critical`] section (the paper's
+/// §4.5 critical-section discipline), while the collector relocates
+/// concurrently. Keys are partitioned per thread.
+pub fn run_mt(
+    workload: Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+) -> RunResult {
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed: cfg.seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let heap = DefragHeap::create(pool_cfg, workload.registry(), cfg.defrag)
+        .expect("driver pool creation");
+    run_mt_on(workload, threads, cfg, &heap)
+}
+
+/// Like [`run_mt`] but against a caller-provided heap (fault injection
+/// snapshots the heap from outside while this runs).
+pub fn run_mt_on(
+    workload: Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+    heap: &DefragHeap,
+) -> RunResult {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let heap = heap.clone();
+    let name = workload.name().to_owned();
+    let w = Arc::new(Mutex::new(workload));
+    {
+        let mut ctx = heap.ctx();
+        w.lock().expect("workload lock").setup(&heap, &mut ctx);
+    }
+    let samples = Arc::new(Mutex::new(Vec::<Sample>::new()));
+
+    // Threads take strict round-robin turns: on few-core hosts an unfair
+    // mutex lets one thread run its whole slice before the others start,
+    // which would serialize the "concurrent" phases. Turn-taking keeps the
+    // aggregate live-set shape identical to the single-threaded mix and
+    // makes the interleaving reproducible.
+    let turn = Arc::new(AtomicUsize::new(0));
+    let per_thread_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) / threads;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let heap = heap.clone();
+        let w = w.clone();
+        let mix = cfg.mix;
+        let value_size = cfg.value_size;
+        let seed = cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9);
+        let samples = samples.clone();
+        let sample_every = cfg.sample_every.max(1);
+        let gc_batch = cfg.gc_batch;
+        let turn = turn.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = heap.ctx();
+            let mut gc_ctx = heap.ctx();
+            let mut keys = KeyGen::new(seed);
+            let mut live: BTreeSet<u64> = BTreeSet::new();
+            let total = (mix.init + mix.phase_ops * mix.phases).max(1);
+            let mut op = 0usize;
+            while op < per_thread_ops {
+                // Wait for this thread's turn (round-robin).
+                let mut spins = 0u32;
+                while turn.load(Ordering::Acquire) % threads != tid {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                // Thread 0 doubles as the sampler, on its own op cadence.
+                if tid == 0 && op.is_multiple_of(sample_every) {
+                    let st = heap.pool().stats();
+                    samples.lock().expect("samples lock").push(Sample {
+                        op: op as u64,
+                        footprint: st.footprint_bytes,
+                        live: st.live_bytes,
+                    });
+                }
+                // Each thread runs a 1/threads slice of the §6 mix with the
+                // same *shape*: the init fraction inserts, then alternating
+                // delete/insert/delete phases.
+                let scaled = op * total / per_thread_ops.max(1);
+                let insert = if scaled < mix.init {
+                    true
+                } else {
+                    let phase = (scaled - mix.init) / mix.phase_ops.max(1);
+                    phase % 2 == 1
+                } || live.is_empty();
+                heap.critical(|| {
+                    let mut w = w.lock().expect("workload lock");
+                    if insert {
+                        let k = keys.fresh();
+                        let vs = keys.value_size(value_size.0, value_size.1);
+                        w.insert(&heap, &mut ctx, k, vs);
+                        live.insert(k);
+                    } else if let Some(k) = keys.pick(&live) {
+                        w.delete(&heap, &mut ctx, k);
+                        live.remove(&k);
+                    }
+                });
+                op += 1;
+                // Every thread lends its turn to the collector, on a
+                // dedicated context — the same interleaved-concurrency
+                // model (and aggregate collection rate) as the single-
+                // threaded driver; a starvable free-running GC thread would
+                // under-collect on small hosts. Thread 0 owns triggering.
+                if heap.in_cycle() {
+                    heap.step_compaction(&mut gc_ctx, gc_batch);
+                } else if tid == 0 && op.is_multiple_of(32) {
+                    heap.maybe_defrag(&mut gc_ctx);
+                }
+                turn.fetch_add(1, Ordering::Release);
+            }
+            (ctx.cycles(), gc_ctx.cycles(), live)
+        }));
+    }
+    let mut app_cycles = 0u64;
+    let mut gc_cycles = 0u64;
+    let mut total_ops = 0u64;
+    for h in handles {
+        let (cycles, gc, live) = h.join().expect("app thread");
+        app_cycles += cycles;
+        gc_cycles += gc;
+        total_ops += per_thread_ops as u64;
+        let _ = live;
+    }
+    {
+        let mut wind_down = heap.ctx();
+        heap.exit(&mut wind_down);
+    }
+
+    let samples = Arc::try_unwrap(samples)
+        .map(|m| m.into_inner().expect("samples lock"))
+        .unwrap_or_default();
+    let (avg_footprint, avg_live) = if samples.is_empty() {
+        let st = heap.pool().stats();
+        (st.footprint_bytes as f64, st.live_bytes as f64)
+    } else {
+        (
+            samples.iter().map(|s| s.footprint as f64).sum::<f64>() / samples.len() as f64,
+            samples.iter().map(|s| s.live as f64).sum::<f64>() / samples.len() as f64,
+        )
+    };
+    RunResult {
+        workload: name,
+        scheme: heap.scheme(),
+        ops: total_ops,
+        avg_footprint,
+        avg_live,
+        avg_frag: if avg_live > 0.0 { avg_footprint / avg_live } else { 1.0 },
+        app_cycles,
+        gc_driver_cycles: gc_cycles,
+        gc: heap.gc_stats(),
+        samples,
+        latency: (0, 0, 0, 0),
+    }
+}
+
+
+/// Runs `workload` under `cfg`, returning the collected metrics.
+pub fn run(workload: &mut dyn Workload, cfg: &DriverConfig) -> RunResult {
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed: cfg.seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let heap = DefragHeap::create(pool_cfg, workload.registry(), cfg.defrag)
+        .expect("driver pool creation");
+    run_on(workload, cfg, &heap, &mut None)
+}
+
+/// Like [`run`] but against a caller-provided heap, invoking `hook`
+/// between operations (fault injection uses this to snapshot crash
+/// images mid-run).
+pub fn run_on(
+    workload: &mut dyn Workload,
+    cfg: &DriverConfig,
+    heap: &DefragHeap,
+    hook: &mut Option<&mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>)>,
+) -> RunResult {
+    let mut app_ctx = heap.ctx();
+    let mut gc_ctx = heap.ctx();
+    let mut keys = KeyGen::new(cfg.seed);
+    let mut live: BTreeSet<u64> = BTreeSet::new();
+    let mut samples = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut op_index = 0u64;
+
+    workload.setup(heap, &mut app_ctx);
+
+    let do_op = |insert: bool,
+                     workload: &mut dyn Workload,
+                     app_ctx: &mut ffccd_pmem::Ctx,
+                     gc_ctx: &mut ffccd_pmem::Ctx,
+                     keys: &mut KeyGen,
+                     live: &mut BTreeSet<u64>,
+                     samples: &mut Vec<Sample>,
+                     latencies: &mut Vec<u64>,
+                     op_index: &mut u64,
+                     hook: &mut Option<&mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>)>| {
+        let t0 = app_ctx.cycles();
+        if insert {
+            let k = keys.fresh();
+            let vs = keys.value_size(cfg.value_size.0, cfg.value_size.1);
+            workload.insert(heap, app_ctx, k, vs);
+            live.insert(k);
+        } else if let Some(k) = keys.pick(live) {
+            let was = workload.delete(heap, app_ctx, k);
+            debug_assert!(was, "driver only deletes live keys");
+            live.remove(&k);
+        }
+        latencies.push(app_ctx.cycles() - t0);
+        *op_index += 1;
+
+        // Concurrent GC pump: the collector makes progress between ops.
+        if heap.in_cycle() {
+            heap.step_compaction(gc_ctx, cfg.gc_batch);
+        } else if (*op_index).is_multiple_of(32) {
+            heap.maybe_defrag(gc_ctx);
+        }
+        if (*op_index).is_multiple_of(cfg.sample_every as u64) {
+            let st = heap.pool().stats();
+            samples.push(Sample {
+                op: *op_index,
+                footprint: st.footprint_bytes,
+                live: st.live_bytes,
+            });
+        }
+        if let Some(h) = hook {
+            h(*op_index, heap, live);
+        }
+    };
+
+    for _ in 0..cfg.mix.init {
+        do_op(
+            true, workload, &mut app_ctx, &mut gc_ctx, &mut keys, &mut live, &mut samples,
+            &mut latencies, &mut op_index, hook,
+        );
+    }
+    for phase in 0..cfg.mix.phases {
+        let insert = phase % 2 == 1; // delete, insert, delete
+        for _ in 0..cfg.mix.phase_ops {
+            if !insert && live.is_empty() {
+                break;
+            }
+            do_op(
+                insert, workload, &mut app_ctx, &mut gc_ctx, &mut keys, &mut live, &mut samples,
+                &mut latencies, &mut op_index, hook,
+            );
+        }
+    }
+
+    // Wind down: let any in-flight cycle terminate (exit(), §5).
+    heap.exit(&mut gc_ctx);
+
+    let (avg_footprint, avg_live) = if samples.is_empty() {
+        let st = heap.pool().stats();
+        (st.footprint_bytes as f64, st.live_bytes as f64)
+    } else {
+        (
+            samples.iter().map(|s| s.footprint as f64).sum::<f64>() / samples.len() as f64,
+            samples.iter().map(|s| s.live as f64).sum::<f64>() / samples.len() as f64,
+        )
+    };
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p) as usize]
+        }
+    };
+    RunResult {
+        workload: workload.name().to_owned(),
+        scheme: heap.scheme(),
+        ops: op_index,
+        avg_footprint,
+        avg_live,
+        avg_frag: if avg_live > 0.0 { avg_footprint / avg_live } else { 1.0 },
+        app_cycles: app_ctx.cycles(),
+        gc_driver_cycles: gc_ctx.cycles(),
+        gc: heap.gc_stats(),
+        samples,
+        latency: (pct(0.5), pct(0.9), pct(0.99), pct(1.0)),
+    }
+}

@@ -1,0 +1,191 @@
+//! Fault-injection harness (paper §7.1).
+//!
+//! Runs a workload with crash images captured at scheduled operation
+//! indices; each image is then restarted, recovered with the scheme's
+//! recovery procedure, and validated twice — GC-metadata consistency
+//! ([`ffccd::validate_heap`]) and workload topology/key-set consistency
+//! ([`crate::Workload::validate`]). The paper runs one thousand injections
+//! across 26 settings; [`run_fault_injection`] is the per-setting unit.
+
+use std::collections::BTreeSet;
+
+use ffccd::{validate_heap, DefragConfig, DefragHeap, Scheme};
+use ffccd_pmem::{CrashImage, Ctx, MachineConfig};
+use ffccd_pmop::PoolConfig;
+
+use crate::driver::{run_on, DriverConfig};
+use crate::workload::Workload;
+
+/// Outcome of one fault-injection campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Crash images taken.
+    pub injections: u64,
+    /// Images whose recovery found an in-flight cycle.
+    pub mid_cycle: u64,
+    /// Objects finished / redone by recovery across all images.
+    pub recovered_objects: u64,
+    /// Objects undone (FFCCD not-reached) across all images.
+    pub undone_objects: u64,
+    /// Validation failures (must be zero).
+    pub failures: Vec<String>,
+}
+
+/// Multithreaded fault injection: `threads` application threads plus the
+/// concurrent collector run the workload while a sampler thread captures
+/// crash images at random moments; each image is recovered and checked
+/// with the GC-metadata/heap-consistency validator (§7.1's second checker;
+/// the key-set oracle is not applicable when threads race the snapshot).
+pub fn run_mt_fault_injection(
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    scheme: Scheme,
+    seed: u64,
+    injections: u64,
+    cfg: &DriverConfig,
+) -> FaultReport {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let defrag = DefragConfig {
+        min_live_bytes: 1 << 12,
+        cooldown_ops: 64,
+        ..DefragConfig::normal(scheme)
+    };
+    let w = make_workload();
+    let heap = DefragHeap::create(pool_cfg, w.registry(), defrag).expect("mt fault pool");
+    let done = Arc::new(AtomicBool::new(false));
+    let images = Arc::new(Mutex::new(Vec::new()));
+
+    // Sampler: takes crash images while everyone runs.
+    let sampler = {
+        let heap = heap.clone();
+        let done = done.clone();
+        let images = images.clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                {
+                    let mut imgs = images.lock().expect("images lock");
+                    if (imgs.len() as u64) < injections {
+                        imgs.push(heap.engine().crash_image());
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+        })
+    };
+    // Reuse the MT driver for the run itself.
+    {
+        let mut mt_cfg = cfg.clone();
+        mt_cfg.defrag = defrag;
+        let _ = crate::driver::run_mt_on(w, threads, &mt_cfg, &heap);
+    }
+    done.store(true, Ordering::Release);
+    sampler.join().expect("sampler");
+
+    let images = Arc::try_unwrap(images)
+        .map(|m| m.into_inner().expect("images lock"))
+        .unwrap_or_default();
+    let mut report = FaultReport {
+        injections: images.len() as u64,
+        ..FaultReport::default()
+    };
+    for (i, image) in images.iter().enumerate() {
+        match DefragHeap::open_recovered(image, make_workload().registry(), defrag) {
+            Ok((heap2, rec)) => {
+                if rec.had_cycle {
+                    report.mid_cycle += 1;
+                }
+                report.recovered_objects += rec.finished + rec.already_durable;
+                report.undone_objects += rec.undone;
+                if let Err(es) = validate_heap(&heap2) {
+                    report
+                        .failures
+                        .push(format!("image {i}: GC metadata: {}", es.join("; ")));
+                }
+            }
+            Err(e) => report.failures.push(format!("image {i}: recovery failed: {e}")),
+        }
+    }
+    report
+}
+
+/// Runs `workload` under `scheme`, capturing `injections` crash images at
+/// evenly spaced points, and validates recovery from each.
+///
+/// `make_workload` builds a fresh workload instance for validating each
+/// image (the persistent structure is rebuilt from the image; volatile
+/// state is re-derived via [`Workload::reopen`]).
+pub fn run_fault_injection(
+    workload: &mut dyn Workload,
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    scheme: Scheme,
+    seed: u64,
+    injections: u64,
+    cfg: &DriverConfig,
+) -> FaultReport {
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let defrag = DefragConfig {
+        min_live_bytes: 1 << 12,
+        ..DefragConfig::normal(scheme)
+    };
+    let heap =
+        DefragHeap::create(pool_cfg, workload.registry(), defrag).expect("fault-injection pool");
+
+    let total_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) as u64;
+    let stride = (total_ops / (injections + 1)).max(1);
+    let mut images: Vec<(CrashImage, BTreeSet<u64>)> = Vec::new();
+    {
+        let mut hook = |op: u64, heap: &DefragHeap, live: &BTreeSet<u64>| {
+            if op.is_multiple_of(stride) && (images.len() as u64) < injections {
+                images.push((heap.engine().crash_image(), live.clone()));
+            }
+        };
+        let mut hook_dyn: Option<&mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>)> =
+            Some(&mut hook);
+        run_on(workload, cfg, &heap, &mut hook_dyn);
+    }
+
+    let mut report = FaultReport {
+        injections: images.len() as u64,
+        ..FaultReport::default()
+    };
+    for (i, (image, expected)) in images.iter().enumerate() {
+        let mut fresh = make_workload();
+        match DefragHeap::open_recovered(image, fresh.registry(), defrag) {
+            Ok((heap2, rec)) => {
+                if rec.had_cycle {
+                    report.mid_cycle += 1;
+                }
+                report.recovered_objects += rec.finished + rec.already_durable;
+                report.undone_objects += rec.undone;
+                if let Err(es) = validate_heap(&heap2) {
+                    report
+                        .failures
+                        .push(format!("image {i}: GC metadata: {}", es.join("; ")));
+                    continue;
+                }
+                let mut ctx = Ctx::new(heap2.pool().machine());
+                fresh.reopen(&heap2, &mut ctx);
+                if let Err(e) = fresh.validate(&heap2, &mut ctx, expected) {
+                    report.failures.push(format!("image {i}: {e}"));
+                }
+            }
+            Err(e) => report.failures.push(format!("image {i}: recovery failed: {e}")),
+        }
+    }
+    report
+}

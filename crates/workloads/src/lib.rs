@@ -1,0 +1,45 @@
+//! Workloads for the FFCCD evaluation (paper §6):
+//!
+//! * five microbenchmarks — [`LinkedList`], [`AvlTree`], [`StringSwap`],
+//!   [`BplusTree`], [`RbTree`];
+//! * four applications — [`BzTree`] and [`FpTree`] (concurrent PM range
+//!   indexes), [`Echo`] and [`Pmemkv`] (PM key-value stores);
+//! * the Redis case study ([`redis::RedisLru`]); the Mesh and STW
+//!   comparator defragmenters live on `ffccd::DefragHeap` itself
+//!   (Figure 16);
+//! * the [`driver`] running the paper's insert/delete phase mix while
+//!   pumping concurrent defragmentation and sampling fragmentation;
+//! * the §7.1 [`faults`] fault-injection harness.
+//!
+//! Every structure is built strictly on the `ffccd::DefragHeap` public API:
+//! typed allocation, persistent pointers through `load_ref`/`store_ref`
+//! read barriers, and explicit persistence — exactly like a PMDK program.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod faults;
+pub mod util;
+
+mod avl;
+mod btree;
+mod bztree;
+mod echo;
+mod fptree;
+mod linked_list;
+mod pmemkv;
+pub mod redis;
+mod rbtree;
+mod string_swap;
+mod workload;
+
+pub use avl::AvlTree;
+pub use btree::BplusTree;
+pub use bztree::BzTree;
+pub use echo::Echo;
+pub use fptree::FpTree;
+pub use linked_list::LinkedList;
+pub use pmemkv::Pmemkv;
+pub use rbtree::RbTree;
+pub use string_swap::StringSwap;
+pub use workload::Workload;

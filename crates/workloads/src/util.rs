@@ -1,0 +1,135 @@
+//! Key/value generation helpers shared by the workloads and the driver.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic key stream: a seeded permutation-ish generator that can
+/// re-produce the exact sequence for validation.
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    rng: SmallRng,
+    next_fresh: u64,
+    salt: u64,
+}
+
+impl KeyGen {
+    /// Creates a generator from a seed. Generators with different seeds
+    /// produce disjoint fresh-key streams (multi-threaded drivers give each
+    /// thread its own seed).
+    pub fn new(seed: u64) -> Self {
+        KeyGen {
+            rng: SmallRng::seed_from_u64(seed),
+            next_fresh: 1,
+            salt: seed,
+        }
+    }
+
+    /// A key never produced before by *any* generator with a different
+    /// seed (the map is a bijection of `counter + salt·2³²`).
+    pub fn fresh(&mut self) -> u64 {
+        let k = self.next_fresh + (self.salt << 32);
+        self.next_fresh += 1;
+        // Odd-constant multiplication: bijective on u64, and spreads keys
+        // so ordered structures don't degenerate into a stick.
+        k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Picks a pseudo-random element of `live` (for deletes); `None` when
+    /// empty.
+    pub fn pick(&mut self, live: &std::collections::BTreeSet<u64>) -> Option<u64> {
+        if live.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..live.len());
+        live.iter().nth(idx).copied()
+    }
+
+    /// A value size in `[lo, hi]` (Redis uses 240–492, microbenchmarks a
+    /// constant 128).
+    pub fn value_size(&mut self, lo: usize, hi: usize) -> usize {
+        if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Raw u64 from the stream.
+    pub fn raw(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+/// Fills `buf` with a deterministic pattern derived from `key`, so
+/// validators can re-derive and compare stored values.
+pub fn value_pattern(key: u64, buf: &mut [u8]) {
+    let mut x = key ^ 0xD6E8_FEB8_6659_FD93;
+    for chunk in buf.chunks_mut(8) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let b = x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&b[..n]);
+    }
+}
+
+/// Verifies `buf` matches [`value_pattern`] for `key`.
+pub fn value_matches(key: u64, buf: &[u8]) -> bool {
+    let mut expect = vec![0u8; buf.len()];
+    value_pattern(key, &mut expect);
+    expect.as_slice() == buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fresh_keys_are_unique() {
+        let mut g = KeyGen::new(1);
+        let keys: BTreeSet<u64> = (0..10_000).map(|_| g.fresh()).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = KeyGen::new(7);
+        let mut b = KeyGen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.fresh(), b.fresh());
+            assert_eq!(a.raw(), b.raw());
+        }
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut g = KeyGen::new(3);
+        let live: BTreeSet<u64> = [5, 9, 12].into_iter().collect();
+        for _ in 0..20 {
+            let k = g.pick(&live).expect("non-empty");
+            assert!(live.contains(&k));
+        }
+        assert_eq!(g.pick(&BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn value_pattern_roundtrip() {
+        let mut buf = [0u8; 100];
+        value_pattern(42, &mut buf);
+        assert!(value_matches(42, &buf));
+        assert!(!value_matches(43, &buf));
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn value_size_bounds() {
+        let mut g = KeyGen::new(9);
+        for _ in 0..100 {
+            let s = g.value_size(240, 492);
+            assert!((240..=492).contains(&s));
+        }
+        assert_eq!(g.value_size(128, 128), 128);
+    }
+}

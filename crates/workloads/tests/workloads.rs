@@ -1,0 +1,203 @@
+//! Every workload through the driver under every scheme, with validation,
+//! plus per-workload fault injection (a scaled-down §7.1).
+
+use std::collections::BTreeSet;
+
+use ffccd::{DefragConfig, Scheme};
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::PoolConfig;
+use ffccd_workloads::driver::{run, run_on, DriverConfig, PhaseMix};
+use ffccd_workloads::faults::run_fault_injection;
+use ffccd_workloads::{
+    AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
+};
+
+fn tiny_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix::tiny();
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.pool.machine = MachineConfig { seed, ..MachineConfig::default() };
+    cfg.seed = seed;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg
+}
+
+/// Runs the workload through the driver and validates the final key set.
+fn exercise(mut w: Box<dyn Workload>, scheme: Scheme, seed: u64) {
+    let cfg = tiny_cfg(scheme, seed);
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig { seed, ..MachineConfig::default() },
+        ..cfg.pool.clone()
+    };
+    let heap = ffccd::DefragHeap::create(pool_cfg, w.registry(), cfg.defrag).expect("heap");
+    // Track the expected key set through the run with a final-state hook.
+    let mut final_keys: BTreeSet<u64> = BTreeSet::new();
+    {
+        let mut hook = |_op: u64, _h: &ffccd::DefragHeap, live: &BTreeSet<u64>| {
+            final_keys = live.clone();
+        };
+        let mut hook_dyn: Option<&mut dyn FnMut(u64, &ffccd::DefragHeap, &BTreeSet<u64>)> =
+            Some(&mut hook);
+        let result = run_on(&mut *w, &cfg, &heap, &mut hook_dyn);
+        assert!(result.ops > 0);
+        assert!(result.avg_frag >= 1.0);
+    }
+    let mut ctx = heap.ctx();
+    w.validate(&heap, &mut ctx, &final_keys)
+        .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", w.name()));
+    ffccd::validate_heap(&heap)
+        .unwrap_or_else(|e| panic!("{} under {scheme}: heap: {e:?}", w.name()));
+    // Spot-check membership.
+    for &k in final_keys.iter().take(20) {
+        assert!(w.contains(&heap, &mut ctx, k));
+    }
+    assert!(!w.contains(&heap, &mut ctx, u64::MAX));
+}
+
+macro_rules! workload_tests {
+    ($modname:ident, $ctor:expr) => {
+        mod $modname {
+            use super::*;
+
+            #[test]
+            fn baseline_run_validates() {
+                exercise(Box::new($ctor), Scheme::Baseline, 101);
+            }
+
+            #[test]
+            fn ffccd_checklookup_run_validates() {
+                exercise(Box::new($ctor), Scheme::FfccdCheckLookup, 102);
+            }
+
+            #[test]
+            fn espresso_run_validates() {
+                exercise(Box::new($ctor), Scheme::Espresso, 103);
+            }
+
+            #[test]
+            fn fault_injection_passes() {
+                let mut w = $ctor;
+                let cfg = tiny_cfg(Scheme::FfccdCheckLookup, 104);
+                let report = run_fault_injection(
+                    &mut w,
+                    &|| Box::new($ctor),
+                    Scheme::FfccdCheckLookup,
+                    104,
+                    6,
+                    &cfg,
+                );
+                assert!(report.injections >= 4, "want several images");
+                assert!(
+                    report.failures.is_empty(),
+                    "fault injection failures: {:#?}",
+                    report.failures
+                );
+            }
+
+            #[test]
+            fn fault_injection_sfccd_passes() {
+                let mut w = $ctor;
+                let cfg = tiny_cfg(Scheme::Sfccd, 105);
+                let report =
+                    run_fault_injection(&mut w, &|| Box::new($ctor), Scheme::Sfccd, 105, 5, &cfg);
+                assert!(
+                    report.failures.is_empty(),
+                    "fault injection failures: {:#?}",
+                    report.failures
+                );
+            }
+        }
+    };
+}
+
+workload_tests!(ll, LinkedList::new());
+workload_tests!(avl, AvlTree::new());
+workload_tests!(ss, StringSwap::new());
+workload_tests!(bt, BplusTree::new());
+workload_tests!(rbt, RbTree::new());
+workload_tests!(bztree, BzTree::new());
+workload_tests!(fptree, FpTree::new());
+workload_tests!(echo, Echo::new());
+workload_tests!(pmemkv, Pmemkv::new());
+
+fn medium_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = tiny_cfg(scheme, seed);
+    // Fragmentation reduction needs enough churn to dwarf page quantization.
+    cfg.mix = PhaseMix {
+        init: 2500,
+        phase_ops: 2000,
+        phases: 3,
+    };
+    cfg
+}
+
+#[test]
+fn defrag_reduces_fragmentation_on_ll() {
+    let mut base = LinkedList::new();
+    let baseline = run(&mut base, &medium_cfg(Scheme::Baseline, 7));
+    let mut ours = LinkedList::new();
+    let ffccd_run = run(&mut ours, &medium_cfg(Scheme::FfccdCheckLookup, 7));
+    let red = ffccd_run.fragmentation_reduction_vs(&baseline);
+    assert!(
+        red > 10.0,
+        "FFCCD must cut LL fragmentation, got {red:.1}% \
+         (baseline avg fp {:.0}, ours {:.0})",
+        baseline.avg_footprint,
+        ffccd_run.avg_footprint
+    );
+}
+
+#[test]
+fn echo_benefits_less_than_pmemkv() {
+    let seed = 11;
+    let echo_base = run(&mut Echo::new(), &medium_cfg(Scheme::Baseline, seed));
+    let echo_ours = run(&mut Echo::new(), &medium_cfg(Scheme::FfccdCheckLookup, seed));
+    let kv_base = run(&mut Pmemkv::new(), &medium_cfg(Scheme::Baseline, seed));
+    let kv_ours = run(&mut Pmemkv::new(), &medium_cfg(Scheme::FfccdCheckLookup, seed));
+    let echo_red = echo_ours.fragmentation_reduction_vs(&echo_base);
+    let kv_red = kv_ours.fragmentation_reduction_vs(&kv_base);
+    // At unit-test scale Echo's pinned bucket array is a small heap share,
+    // so the paper's Echo-benefits-least ordering only emerges at bench
+    // scale (see EXPERIMENTS.md); here we assert both reductions are real.
+    assert!(
+        kv_red > 10.0 && echo_red > 10.0,
+        "both stores must see substantial reduction: pmemkv {kv_red:.1}%, Echo {echo_red:.1}%"
+    );
+}
+
+#[test]
+fn mt_fault_injection_bztree() {
+    use ffccd_workloads::faults::run_mt_fault_injection;
+    for threads in [2usize, 4] {
+        let cfg = tiny_cfg(Scheme::FfccdCheckLookup, 300 + threads as u64);
+        let report = run_mt_fault_injection(
+            &|| Box::new(BzTree::new()),
+            threads,
+            Scheme::FfccdCheckLookup,
+            300 + threads as u64,
+            4,
+            &cfg,
+        );
+        assert!(report.injections > 0);
+        assert!(
+            report.failures.is_empty(),
+            "{threads}T: {:?}",
+            report.failures
+        );
+    }
+}
+
+#[test]
+fn mt_fault_injection_fptree_sfccd() {
+    use ffccd_workloads::faults::run_mt_fault_injection;
+    let cfg = tiny_cfg(Scheme::Sfccd, 310);
+    let report = run_mt_fault_injection(
+        &|| Box::new(FpTree::new()),
+        4,
+        Scheme::Sfccd,
+        310,
+        4,
+        &cfg,
+    );
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+}

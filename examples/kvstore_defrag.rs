@@ -1,0 +1,71 @@
+//! A key-value store aging over its lifetime, with and without FFCCD.
+//!
+//! Reproduces the paper's motivating scenario at example scale: the same
+//! pmemkv-style store runs the same churn twice — once on the baseline
+//! allocator (footprint only ever grows) and once with FFCCD (footprint
+//! tracks the live set). Prints a side-by-side fragmentation trace.
+//!
+//! Run with: `cargo run --release --example kvstore_defrag`
+
+use ffccd::Scheme;
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::PoolConfig;
+use ffccd_workloads::driver::{run, DriverConfig, PhaseMix};
+use ffccd_workloads::Pmemkv;
+
+fn config(scheme: Scheme) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix {
+        init: 4000,
+        phase_ops: 3000,
+        phases: 3,
+    };
+    cfg.pool = PoolConfig {
+        data_bytes: 32 << 20,
+        os_page_size: 4096,
+        machine: MachineConfig::default(),
+    };
+    cfg.defrag.min_live_bytes = 1 << 13;
+    cfg
+}
+
+fn main() {
+    println!("pmemkv churn: 4000 inserts, then 3000-op delete/insert/delete phases\n");
+    let baseline = run(&mut Pmemkv::new(), &config(Scheme::Baseline));
+    let ffccd = run(&mut Pmemkv::new(), &config(Scheme::FfccdCheckLookup));
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "op", "baseline(KiB)", "ffccd(KiB)", "live(KiB)"
+    );
+    let n = baseline.samples.len().min(ffccd.samples.len());
+    for i in (0..n).step_by((n / 20).max(1)) {
+        println!(
+            "{:>8} {:>14} {:>14} {:>10}",
+            baseline.samples[i].op,
+            baseline.samples[i].footprint >> 10,
+            ffccd.samples[i].footprint >> 10,
+            baseline.samples[i].live >> 10,
+        );
+    }
+    println!();
+    println!(
+        "average footprint: baseline {:.0} KiB vs FFCCD {:.0} KiB",
+        baseline.avg_footprint / 1024.0,
+        ffccd.avg_footprint / 1024.0
+    );
+    println!(
+        "fragmentation reduction (paper Eq. 1): {:.1}%",
+        ffccd.fragmentation_reduction_vs(&baseline)
+    );
+    println!(
+        "execution time overhead: {:.1}% ({} cycles vs {})",
+        (ffccd.app_cycles as f64 / baseline.app_cycles as f64 - 1.0) * 100.0,
+        ffccd.app_cycles,
+        baseline.app_cycles
+    );
+    println!(
+        "defragmentation: {} cycles, {} objects relocated, {} frames released",
+        ffccd.gc.cycles_completed, ffccd.gc.objects_relocated, ffccd.gc.frames_released
+    );
+}

@@ -1,0 +1,121 @@
+//! Quickstart: create a defragmenting persistent heap, fragment it, watch
+//! FFCCD compact it, crash it, recover it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ffccd::{validate_heap, DefragConfig, DefragHeap, Scheme};
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::{PmPtr, PoolConfig, TypeDesc, TypeId, TypeRegistry};
+
+// A persistent list node: next pointer at offset 0, key at 8, 112 bytes of
+// payload after that.
+const NODE: TypeId = TypeId(0);
+const NEXT: u64 = 0;
+const KEY: u64 = 8;
+const NODE_SIZE: u64 = 128;
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.register(TypeDesc::new("node", NODE_SIZE as u32, &[NEXT as u32]));
+    reg
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. init(): a 16 MiB pool with FFCCD defragmentation armed at the
+    //    paper's normal thresholds (trigger fragR 1.5, target 1.25).
+    let pool_cfg = PoolConfig {
+        data_bytes: 16 << 20,
+        os_page_size: 4096,
+        machine: MachineConfig::default(),
+    };
+    let cfg = DefragConfig {
+        min_live_bytes: 1 << 12,
+        ..DefragConfig::normal(Scheme::FfccdCheckLookup)
+    };
+    let heap = DefragHeap::create(pool_cfg, registry(), cfg)?;
+    let mut ctx = heap.ctx();
+
+    // 2. Build a 2000-node list, then delete 80% of it — the classic
+    //    fragmentation pattern: many pages, few survivors on each.
+    let mut nodes = Vec::new();
+    for i in 0..2000u64 {
+        let n = heap.alloc(&mut ctx, NODE, NODE_SIZE)?;
+        heap.write_u64(&mut ctx, n, KEY, i);
+        let head = heap.root(&mut ctx);
+        heap.store_ref(&mut ctx, n, NEXT, head);
+        heap.persist(&mut ctx, n, 0, NODE_SIZE);
+        heap.set_root(&mut ctx, n);
+        nodes.push(n);
+    }
+    // Unlink+free every node with key % 5 != 0.
+    let mut prev = PmPtr::NULL;
+    let mut cur = heap.root(&mut ctx);
+    while !cur.is_null() {
+        let next = heap.load_ref(&mut ctx, cur, NEXT);
+        if heap.read_u64(&mut ctx, cur, KEY) % 5 != 0 {
+            if prev.is_null() {
+                heap.set_root(&mut ctx, next);
+            } else {
+                heap.store_ref(&mut ctx, prev, NEXT, next);
+            }
+            heap.free(&mut ctx, cur)?;
+        } else {
+            prev = cur;
+        }
+        cur = next;
+    }
+    let before = heap.pool().stats();
+    println!(
+        "fragmented: footprint {} KiB, live {} KiB, fragR {:.2}",
+        before.footprint_bytes >> 10,
+        before.live_bytes >> 10,
+        before.frag_ratio
+    );
+
+    // 3. The monitor hook notices the fragmentation and starts a cycle;
+    //    drive the concurrent compactor to completion.
+    assert!(heap.maybe_defrag(&mut ctx), "fragR above trigger");
+    while heap.step_compaction(&mut ctx, 64) {}
+    // Cycles are incremental (bounded pages per cycle); keep going while
+    // the monitor still sees fragmentation above the trigger.
+    while heap.maybe_defrag(&mut ctx) {
+        while heap.step_compaction(&mut ctx, 64) {}
+    }
+    let after = heap.pool().stats();
+    println!(
+        "defragmented: footprint {} KiB, fragR {:.2} ({} objects moved, {} frames released)",
+        after.footprint_bytes >> 10,
+        after.frag_ratio,
+        heap.gc_stats().objects_relocated,
+        heap.gc_stats().frames_released,
+    );
+    assert!(after.footprint_bytes < before.footprint_bytes);
+
+    // 4. Fragment again, start a cycle — and crash in the middle of it.
+    let mut ctx = heap.ctx();
+    heap.defrag_now(&mut ctx);
+    heap.step_compaction(&mut ctx, 10); // move a few objects, then pull the plug
+    let image = heap.engine().crash_image();
+    println!("crashed mid-compaction (cycle in flight: {})", heap.in_cycle());
+
+    // 5. recovery(): the reached bitmap tells recovery which objects made
+    //    it to persistence; everything else is finished or undone.
+    let (heap2, report) = DefragHeap::open_recovered(&image, registry(), cfg)?;
+    println!(
+        "recovered: {} durable, {} finished, {} undone, {} refs fixed",
+        report.already_durable, report.finished, report.undone, report.refs_fixed
+    );
+    validate_heap(&heap2).map_err(|e| format!("validation failed: {e:?}"))?;
+
+    // 6. The data survived: count the list.
+    let mut ctx2 = heap2.ctx();
+    let mut count = 0;
+    let mut cur = heap2.root(&mut ctx2);
+    while !cur.is_null() {
+        count += 1;
+        cur = heap2.load_ref(&mut ctx2, cur, NEXT);
+    }
+    println!("list intact after crash + recovery: {count} nodes (expected 400)");
+    assert_eq!(count, 400);
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the FFCCD reproduction: re-exports the substrate
+//! crates so integration tests and examples can use one dependency.
+
+pub use ffccd;
+pub use ffccd_arch as arch;
+pub use ffccd_pmem as pmem;
+pub use ffccd_pmop as pmop;
+pub use ffccd_workloads as workloads;
