@@ -28,7 +28,11 @@ pub const AREA_PER_BYTE_MM2: f64 = 4.0e-5;
 /// * RBB entry: 36-bit PFN + 64-bit bitmap = 100 bits = 12.5 B
 /// * PMFTLB entry: 36-bit VPN + 18-bit major distance + 256 B minor map
 ///   = 70.75 B
-pub fn hardware_cost_table(rbb_entries: u64, pmftlb_entries: u64, bfc_bytes: u64) -> Vec<HardwareCostRow> {
+pub fn hardware_cost_table(
+    rbb_entries: u64,
+    pmftlb_entries: u64,
+    bfc_bytes: u64,
+) -> Vec<HardwareCostRow> {
     let rbb_entry = 12.5f64;
     let pmftlb_entry = 70.75f64;
     let rows = [

@@ -80,11 +80,7 @@ impl HashedFt {
             let k = engine.read_u64(ctx, off);
             if k == 0 || k == key {
                 engine.write_u64(ctx, off, key);
-                engine.write_u64(
-                    ctx,
-                    off + 8,
-                    (e.dest_frame << 8) | e.dest_slot as u64,
-                );
+                engine.write_u64(ctx, off + 8, (e.dest_frame << 8) | e.dest_slot as u64);
                 engine.persist(ctx, off, ENTRY_BYTES);
                 return;
             }
@@ -175,7 +171,12 @@ mod tests {
         ft.store(
             &mut ctx,
             &engine,
-            &HashedFtEntry { src_frame: 7, src_slot: 12, dest_frame: 42, dest_slot: 8 },
+            &HashedFtEntry {
+                src_frame: 7,
+                src_slot: 12,
+                dest_frame: 42,
+                dest_slot: 8,
+            },
         );
         let engine2 = engine.crash_image().restart();
         let mut ctx2 = Ctx::new(engine2.config());
@@ -206,7 +207,12 @@ mod tests {
             ft.store(
                 &mut ctx,
                 &engine,
-                &HashedFtEntry { src_frame: i, src_slot: 0, dest_frame: i, dest_slot: 0 },
+                &HashedFtEntry {
+                    src_frame: i,
+                    src_slot: 0,
+                    dest_frame: i,
+                    dest_slot: 0,
+                },
             );
         }
         let c0 = ctx.cycles();
@@ -228,7 +234,12 @@ mod tests {
         ft.store(
             &mut ctx,
             &engine,
-            &HashedFtEntry { src_frame: 1, src_slot: 2, dest_frame: 3, dest_slot: 4 },
+            &HashedFtEntry {
+                src_frame: 1,
+                src_slot: 2,
+                dest_frame: 3,
+                dest_slot: 4,
+            },
         );
         ft.clear(&mut ctx, &engine);
         assert_eq!(ft.lookup(&mut ctx, &engine, 1, 2), None);
@@ -242,7 +253,12 @@ mod tests {
             ft.store(
                 &mut ctx,
                 &engine,
-                &HashedFtEntry { src_frame: i, src_slot: 0, dest_frame: i, dest_slot: 0 },
+                &HashedFtEntry {
+                    src_frame: i,
+                    src_slot: 0,
+                    dest_frame: i,
+                    dest_slot: 0,
+                },
             );
         }
     }

@@ -104,9 +104,7 @@ mod tests {
         assert!(m.moved_base >= m.reached_base + m.num_frames * 8);
         assert!(m.pmft_base >= m.moved_base + m.num_frames * 32);
         assert!(m.fragmap_base >= m.pmft_base + m.num_frames * crate::pmft::PMFT_ENTRY_BYTES);
-        assert!(
-            m.fragmap_byte(m.num_frames - 1) < pool.meta_start + pool.meta_len
-        );
+        assert!(m.fragmap_byte(m.num_frames - 1) < pool.meta_start + pool.meta_len);
         assert!(pool.meta_start + pool.meta_len <= pool.data_start);
     }
 

@@ -59,10 +59,7 @@ impl PmftEntry {
     /// has a mapping.
     pub fn map(&mut self, src: usize, dst: u8) {
         assert!(dst != MINOR_NONE, "destination slot 0xFF is reserved");
-        assert!(
-            self.minor[src] == MINOR_NONE,
-            "slot {src} already mapped"
-        );
+        assert!(self.minor[src] == MINOR_NONE, "slot {src} already mapped");
         self.minor[src] = dst;
     }
 
@@ -238,7 +235,9 @@ mod tests {
         }
         let all = pmft.load_all(&engine);
         assert_eq!(all.len(), 3);
-        assert!(all.iter().any(|e| e.reloc_frame == 17 && e.dest_frame == 117));
+        assert!(all
+            .iter()
+            .any(|e| e.reloc_frame == 17 && e.dest_frame == 117));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ffccd_arch::{BloomFilter, CheckLookupUnit, GcMetaLayout, HashedFt, HashedFtEntry, Pmft, PmftEntry, Rbb};
+use ffccd_arch::{
+    BloomFilter, CheckLookupUnit, GcMetaLayout, HashedFt, HashedFtEntry, Pmft, PmftEntry, Rbb,
+};
 use ffccd_pmem::{Ctx, Line, MachineConfig, Media, PersistObserver, PmEngine};
 use ffccd_pmop::PoolLayout;
 
@@ -78,7 +80,9 @@ fn bench_bloom_sweep(c: &mut Criterion) {
         for k in 0..512u64 {
             f.insert(k * 31);
         }
-        let fps = (100_000..110_000u64).filter(|&k| f.maybe_contains(k)).count();
+        let fps = (100_000..110_000u64)
+            .filter(|&k| f.maybe_contains(k))
+            .count();
         eprintln!(
             "[ablation] bloom {bytes}B with 512 keys: {:.2}% false positives",
             fps as f64 / 100.0
@@ -147,7 +151,12 @@ fn bench_forwarding_tables(c: &mut Criterion) {
         hashed.store(
             &mut ctx,
             &engine,
-            &HashedFtEntry { src_frame: f, src_slot: 0, dest_frame: f + 1000, dest_slot: 0 },
+            &HashedFtEntry {
+                src_frame: f,
+                src_slot: 0,
+                dest_frame: f + 1000,
+                dest_slot: 0,
+            },
         );
     }
     let mut i = 0usize;
@@ -187,5 +196,11 @@ fn bench_forwarding_tables(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_pmftlb_sweep, bench_bloom_sweep, bench_rbb_sweep, bench_forwarding_tables);
+criterion_group!(
+    benches,
+    bench_pmftlb_sweep,
+    bench_bloom_sweep,
+    bench_rbb_sweep,
+    bench_forwarding_tables
+);
 criterion_main!(benches);

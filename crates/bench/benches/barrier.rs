@@ -55,7 +55,7 @@ fn armed_heap(scheme: Scheme) -> (DefragHeap, PmPtr) {
     let mut idx = 0u64;
     while !cur.is_null() {
         let next = heap.load_ref(&mut ctx, cur, NEXT);
-        if idx % 5 != 0 {
+        if !idx.is_multiple_of(5) {
             if prev.is_null() {
                 heap.set_root(&mut ctx, next);
             } else {

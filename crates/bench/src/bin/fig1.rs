@@ -73,7 +73,7 @@ fn three_runs(page: u64, label: &str) {
         DefragHeap::create(pool_cfg, w.registry(), DefragConfig::baseline()).expect("pool");
     let mut ctx = heap.ctx();
     w.setup(&heap, &mut ctx);
-    let mut keys = KeyGen::new(0xF16_1);
+    let mut keys = KeyGen::new(0xF161);
     let mut live = BTreeSet::new();
     // Initial population.
     for _ in 0..n {
@@ -96,10 +96,7 @@ fn three_runs(page: u64, label: &str) {
     }
     let t0 = results[0].cycles_per_op;
     println!("\n{label} pages:");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "run", "1st", "2nd", "3rd"
-    );
+    println!("{:<12} {:>10} {:>10} {:>10}", "run", "1st", "2nd", "3rd");
     println!(
         "{:<12} {:>10.2} {:>10.2} {:>10.2}",
         "fragR (end)", results[0].frag_end, results[1].frag_end, results[2].frag_end

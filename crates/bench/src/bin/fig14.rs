@@ -14,7 +14,7 @@ fn main() {
     rule(88);
     let mut per_scheme_gc: Vec<(f64, f64)> = vec![(0.0, 0.0); FIG_SCHEMES.len()];
     for mut w in microbenchmarks() {
-        let seed = 0xF14_0 + w.name().len() as u64;
+        let seed = 0xF140 + w.name().len() as u64;
         let base = run_workload(&mut *w, Scheme::Baseline, true, seed);
         for (si, &scheme) in FIG_SCHEMES.iter().enumerate() {
             let r = run_workload(&mut *w, scheme, true, seed);

@@ -13,7 +13,7 @@ fn main() {
     rule(90);
     let mut per_scheme: Vec<(f64, f64)> = vec![(0.0, 0.0); FIG_SCHEMES.len()];
     for mut w in applications() {
-        let seed = 0xF15_0 + w.name().len() as u64;
+        let seed = 0xF150 + w.name().len() as u64;
         let base = run_workload(&mut *w, Scheme::Baseline, true, seed);
         for (si, &scheme) in FIG_SCHEMES.iter().enumerate() {
             let r = run_workload(&mut *w, scheme, true, seed);

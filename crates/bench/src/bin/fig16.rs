@@ -55,7 +55,7 @@ fn run_variant(v: Variant) -> Outcome {
     let mut ctx = heap.ctx();
     let mut gc_ctx = heap.ctx();
     redis.setup(&heap, &mut ctx);
-    let mut keys = KeyGen::new(0xF16_6);
+    let mut keys = KeyGen::new(0xF166);
     let mut series = Vec::new();
     let mut lat = Vec::new();
     let mut fp_sum = 0f64;
@@ -116,7 +116,15 @@ fn run_variant(v: Variant) -> Outcome {
         let vs = keys.value_size(240, 360);
         redis.set(&heap, &mut ctx, k, vs);
         let c = ctx.cycles() - t0;
-        tick(&heap, &mut ctx, &mut gc_ctx, c, &mut op_idx, &mut series, &mut lat);
+        tick(
+            &heap,
+            &mut ctx,
+            &mut gc_ctx,
+            c,
+            &mut op_idx,
+            &mut series,
+            &mut lat,
+        );
     }
     // Phase 2: queries.
     for _ in 0..queries {
@@ -125,7 +133,15 @@ fn run_variant(v: Variant) -> Outcome {
             redis.get(&heap, &mut ctx, k);
         }
         let c = ctx.cycles() - t0;
-        tick(&heap, &mut ctx, &mut gc_ctx, c, &mut op_idx, &mut series, &mut lat);
+        tick(
+            &heap,
+            &mut ctx,
+            &mut gc_ctx,
+            c,
+            &mut op_idx,
+            &mut series,
+            &mut lat,
+        );
     }
     // Phase 3: 500K more inserts — half fresh keys, half overwrites of
     // existing keys with re-sampled sizes (Redis SET of an existing key
@@ -140,7 +156,15 @@ fn run_variant(v: Variant) -> Outcome {
         let vs = keys.value_size(360, 492);
         redis.set(&heap, &mut ctx, k, vs);
         let c = ctx.cycles() - t0;
-        tick(&heap, &mut ctx, &mut gc_ctx, c, &mut op_idx, &mut series, &mut lat);
+        tick(
+            &heap,
+            &mut ctx,
+            &mut gc_ctx,
+            c,
+            &mut op_idx,
+            &mut series,
+            &mut lat,
+        );
     }
     // Phase 4: queries until the end.
     for _ in 0..queries {
@@ -149,7 +173,15 @@ fn run_variant(v: Variant) -> Outcome {
             redis.get(&heap, &mut ctx, k);
         }
         let c = ctx.cycles() - t0;
-        tick(&heap, &mut ctx, &mut gc_ctx, c, &mut op_idx, &mut series, &mut lat);
+        tick(
+            &heap,
+            &mut ctx,
+            &mut gc_ctx,
+            c,
+            &mut op_idx,
+            &mut series,
+            &mut lat,
+        );
     }
     heap.exit(&mut gc_ctx);
     redis.validate(&heap, &mut ctx).expect("redis consistent");

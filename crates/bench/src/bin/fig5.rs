@@ -17,7 +17,7 @@ fn main() {
     rule(76);
     let (mut tot_gc, mut tot_slow, mut n) = (0.0, 0.0, 0.0);
     for mut w in microbenchmarks() {
-        let seed = 0xF1_5 + w.name().len() as u64;
+        let seed = 0xF15 + w.name().len() as u64;
         let base = run_workload(&mut *w, Scheme::Baseline, true, seed);
         let esp = run_workload(&mut *w, Scheme::Espresso, true, seed);
         let bd = breakdown(&esp, base.app_cycles);

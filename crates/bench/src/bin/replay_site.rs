@@ -1,0 +1,79 @@
+//! Replays one crash site from a sweep failure triple.
+//!
+//! The crash-site sweep (`sec7_1`, section 7.1b) prints failures as
+//! `(seed=0x…, site=N, op=M)`. This tool re-runs that exact crash in
+//! isolation and reports the recovery + validation outcome:
+//!
+//! ```text
+//! FFCCD_WORKLOAD=LL FFCCD_SCHEME=sfccd FFCCD_SEED=0x517e01 \
+//!     FFCCD_SITE=171687 cargo run --release -p ffccd-bench --bin replay_site
+//! ```
+//!
+//! The run configuration matches the sweep campaign's, so the site ID
+//! resolves to the same durability event.
+
+use ffccd::Scheme;
+use ffccd_bench::driver_config;
+use ffccd_workloads::driver::PhaseMix;
+use ffccd_workloads::faults::replay_crash_site;
+use ffccd_workloads::{AvlTree, LinkedList, Pmemkv, Workload};
+
+fn env(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+fn parse_u64(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("hex number")
+    } else {
+        s.parse().expect("number")
+    }
+}
+
+fn main() {
+    let workload = env("FFCCD_WORKLOAD").unwrap_or_else(|| "LL".into());
+    let scheme = match env("FFCCD_SCHEME").as_deref() {
+        Some("espresso") => Scheme::Espresso,
+        Some("sfccd") => Scheme::Sfccd,
+        Some("ffccd") => Scheme::FfccdFenceFree,
+        None | Some("checklookup") => Scheme::FfccdCheckLookup,
+        Some(other) => panic!("unknown scheme {other} (espresso|sfccd|ffccd|checklookup)"),
+    };
+    let seed = parse_u64(&env("FFCCD_SEED").expect("set FFCCD_SEED"));
+    let site = parse_u64(&env("FFCCD_SITE").expect("set FFCCD_SITE"));
+
+    let make: Box<dyn Fn() -> Box<dyn Workload>> = match workload.as_str() {
+        "LL" => Box::new(|| Box::new(LinkedList::new())),
+        "AVL" => Box::new(|| Box::new(AvlTree::new())),
+        "pmemkv" => Box::new(|| Box::new(Pmemkv::new())),
+        other => panic!("unknown workload {other} (LL|AVL|pmemkv)"),
+    };
+
+    // Must mirror sec7_1's sweep_campaign configuration exactly.
+    let mut cfg = driver_config(scheme, false, seed);
+    cfg.mix = PhaseMix {
+        init: 1200,
+        phase_ops: 900,
+        phases: 3,
+    };
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.defrag.min_live_bytes = 1 << 12;
+
+    println!(
+        "replaying {workload} / {} seed=0x{seed:x} site={site}",
+        scheme.label()
+    );
+    match replay_crash_site(&*make, scheme, seed, site, &cfg) {
+        None => {
+            println!("site {site} never fired — wrong seed, workload or config?");
+            std::process::exit(2);
+        }
+        Some((op, Ok(()))) => {
+            println!("site fired during op {op}: recovery + validation PASS");
+        }
+        Some((op, Err(msg))) => {
+            println!("site fired during op {op}: FAIL\n  {msg}");
+            std::process::exit(1);
+        }
+    }
+}

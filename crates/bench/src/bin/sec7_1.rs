@@ -5,14 +5,23 @@
 //! both checkers (program-data consistency and GC-metadata consistency).
 //! The paper executes one thousand injections across 26 settings; set
 //! `FFCCD_INJECTIONS` to raise the per-setting count (default 12).
+//!
+//! A second campaign sweeps *crash sites* — images captured right after
+//! individual durability events (stores, clwb, sfence, WPQ traffic,
+//! evictions, GC phase transitions) rather than at op boundaries; set
+//! `FFCCD_SITE_BUDGET` for the per-setting capture budget (default 64)
+//! and `FFCCD_SWEEP_ONLY=1` to run just the sweep (CI smoke).
 
 use ffccd::Scheme;
 use ffccd_bench::{driver_config, header, rule};
 use ffccd_workloads::driver::PhaseMix;
-use ffccd_workloads::faults::run_fault_injection;
+use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
 use ffccd_workloads::{
     AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
 };
+
+/// A boxed workload constructor, keyed by display name in the campaign tables.
+type Factory = Box<dyn Fn() -> Box<dyn Workload>>;
 
 fn injections() -> u64 {
     std::env::var("FFCCD_INJECTIONS")
@@ -21,9 +30,102 @@ fn injections() -> u64 {
         .unwrap_or(12)
 }
 
+fn site_budget() -> u64 {
+    std::env::var("FFCCD_SITE_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Crash-site sweep: 4 schemes x 3 workloads, each capturing up to
+/// `FFCCD_SITE_BUDGET` images at durability-event granularity.
+fn sweep_campaign() -> u64 {
+    header("Section 7.1b: crash-site sweep (durability-event granularity)");
+    let factories: Vec<(&str, Factory)> = vec![
+        ("LL", Box::new(|| Box::new(LinkedList::new()))),
+        ("AVL", Box::new(|| Box::new(AvlTree::new()))),
+        ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
+    ];
+    let schemes = [
+        Scheme::Espresso,
+        Scheme::Sfccd,
+        Scheme::FfccdFenceFree,
+        Scheme::FfccdCheckLookup,
+    ];
+    println!(
+        "{:<8} {:<22} {:>10} {:>9} {:>9} {:>10} {:>8}",
+        "bench", "scheme", "sites", "targeted", "captured", "mid-cycle", "result"
+    );
+    rule(82);
+    let budget = site_budget();
+    let mut failures = 0;
+    for (wi, (name, make)) in factories.iter().enumerate() {
+        for (si, &scheme) in schemes.iter().enumerate() {
+            let seed = 0x517e00 + wi as u64 * 17 + si as u64;
+            let mut cfg = driver_config(scheme, false, seed);
+            cfg.mix = PhaseMix {
+                init: 1200,
+                phase_ops: 900,
+                phases: 3,
+            };
+            cfg.pool.data_bytes = 8 << 20;
+            cfg.defrag.min_live_bytes = 1 << 12;
+            let plan = CrashPlan::new(seed, budget);
+            let report = run_crash_site_sweep(&**make, scheme, &plan, &cfg);
+            // The site space must be rich enough for a meaningful sweep,
+            // every targeted site must fire on replay, and every image
+            // must validate.
+            let ok = report.failures.is_empty()
+                && report.captured == report.targeted
+                && (budget < 50 || report.targeted >= 50);
+            println!(
+                "{:<8} {:<22} {:>10} {:>9} {:>9} {:>10} {:>8}",
+                name,
+                scheme.label(),
+                report.total_sites,
+                report.targeted,
+                report.captured,
+                report.mid_cycle,
+                if ok { "PASS" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+                for f in report.failures.iter().take(3) {
+                    println!(
+                        "    {} during {}: {}{}",
+                        f.triple(),
+                        f.kind,
+                        f.message,
+                        if f.reproduced { " [reproduced]" } else { "" }
+                    );
+                }
+            }
+        }
+    }
+    rule(82);
+    println!(
+        "sweep: {} settings, budget {budget}: {}",
+        factories.len() * schemes.len(),
+        if failures == 0 {
+            "ALL PASS".to_owned()
+        } else {
+            format!("{failures} settings FAILED")
+        }
+    );
+    failures
+}
+
 fn main() {
+    let mut sweep_failures = 0;
+    if std::env::var("FFCCD_SWEEP_ONLY").is_ok() {
+        sweep_failures = sweep_campaign();
+        if sweep_failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     header("Section 7.1: crash-consistency fault injection");
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+    let factories: Vec<(&str, Factory)> = vec![
         ("LL", Box::new(|| Box::new(LinkedList::new()))),
         ("AVL", Box::new(|| Box::new(AvlTree::new()))),
         ("SS", Box::new(|| Box::new(StringSwap::new()))),
@@ -34,7 +136,11 @@ fn main() {
         ("Echo", Box::new(|| Box::new(Echo::new()))),
         ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
     ];
-    let schemes = [Scheme::Sfccd, Scheme::FfccdFenceFree, Scheme::FfccdCheckLookup];
+    let schemes = [
+        Scheme::Sfccd,
+        Scheme::FfccdFenceFree,
+        Scheme::FfccdCheckLookup,
+    ];
     println!(
         "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
         "bench", "scheme", "injections", "mid-cycle", "undone", "result"
@@ -53,8 +159,7 @@ fn main() {
                 phases: 3,
             };
             cfg.defrag.min_live_bytes = 1 << 12;
-            let report =
-                run_fault_injection(&mut *w, &**make, scheme, seed, injections(), &cfg);
+            let report = run_fault_injection(&mut *w, &**make, scheme, seed, injections(), &cfg);
             let ok = report.failures.is_empty();
             println!(
                 "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
@@ -77,14 +182,14 @@ fn main() {
     // Concurrent data structures with 2/4/8 threads (paper §7.1 runs the
     // concurrent DS at 1, 2, 4 and 8 threads; the 1-thread rows are above).
     use ffccd_workloads::faults::run_mt_fault_injection;
-    let concurrent: Vec<(&str, Box<dyn Fn() -> Box<dyn Workload>>)> = vec![
+    let concurrent: Vec<(&str, Factory)> = vec![
         ("BzTree", Box::new(|| Box::new(BzTree::new()))),
         ("FPTree", Box::new(|| Box::new(FpTree::new()))),
     ];
     for (name, make) in &concurrent {
         for threads in [2usize, 4, 8] {
             let scheme = Scheme::FfccdCheckLookup;
-            let seed = 0x7_1_77 + settings as u64;
+            let seed = 0x7177 + settings as u64;
             let mut cfg = driver_config(scheme, false, seed);
             cfg.mix = PhaseMix {
                 init: 1200,
@@ -92,8 +197,7 @@ fn main() {
                 phases: 3,
             };
             cfg.defrag.min_live_bytes = 1 << 12;
-            let report =
-                run_mt_fault_injection(&**make, threads, scheme, seed, injections(), &cfg);
+            let report = run_mt_fault_injection(&**make, threads, scheme, seed, injections(), &cfg);
             let ok = report.failures.is_empty();
             println!(
                 "{:<8} {:<22} {:>10} {:>10} {:>10} {:>8}",
@@ -123,7 +227,9 @@ fn main() {
             format!("{failures} settings FAILED")
         }
     );
-    if failures > 0 {
+    println!();
+    sweep_failures += sweep_campaign();
+    if failures + sweep_failures > 0 {
         std::process::exit(1);
     }
 }

@@ -7,7 +7,10 @@ fn main() {
     header("Table 2: Simulation parameters");
     let c = MachineConfig::default();
     let rows: Vec<(&str, String)> = vec![
-        ("Cache hit latency (cycles)", c.cache_hit_latency.to_string()),
+        (
+            "Cache hit latency (cycles)",
+            c.cache_hit_latency.to_string(),
+        ),
         ("Store hit latency", c.store_hit_latency.to_string()),
         ("DRAM latency", c.dram_latency.to_string()),
         ("PM read latency", c.pm_read_latency.to_string()),
@@ -19,14 +22,20 @@ fn main() {
         ("L1 TLB entries", c.tlb_l1_entries.to_string()),
         ("L2 TLB entries", c.tlb_l2_entries.to_string()),
         ("TLB miss penalty", c.tlb_miss_penalty.to_string()),
-        ("Bloom filter check (cycles)", c.bloom_check_latency.to_string()),
+        (
+            "Bloom filter check (cycles)",
+            c.bloom_check_latency.to_string(),
+        ),
         ("Bloom filter miss", c.bloom_miss_latency.to_string()),
         ("PMFTLB latency", c.pmftlb_latency.to_string()),
         ("PMFTLB entries", c.pmftlb_entries.to_string()),
         ("RBB latency", c.rbb_latency.to_string()),
         ("RBB entries", c.rbb_entries.to_string()),
         ("In-memory bloom filters", c.bloom_filters.to_string()),
-        ("Bloom filter size (bytes)", c.bloom_filter_bytes.to_string()),
+        (
+            "Bloom filter size (bytes)",
+            c.bloom_filter_bytes.to_string(),
+        ),
     ];
     for (k, v) in rows {
         println!("{k:<34} {v:>12}");

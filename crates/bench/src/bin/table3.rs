@@ -16,7 +16,7 @@ fn main() {
     let mut sums = [0.0f64; 6];
     let mut n = 0.0;
     for mut w in microbenchmarks() {
-        let seed = 0x7AB_3 + w.name().len() as u64;
+        let seed = 0x7AB3 + w.name().len() as u64;
         let base = run(&mut *w, &driver_config(Scheme::Baseline, true, seed));
         let ours_n = run(
             &mut *w,

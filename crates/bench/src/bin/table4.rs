@@ -6,9 +6,16 @@ use ffccd_bench::{driver_config, header, mib, rule};
 use ffccd_workloads::driver::{run, run_mt};
 use ffccd_workloads::{BzTree, Echo, FpTree, Pmemkv, Workload};
 
-fn single(mut w: Box<dyn Workload>, seed: u64) -> (f64, f64, f64, f64) {
+/// One table row: PMDK-reported MiB, actual live MiB, our footprint MiB,
+/// and the fragmentation reduction percentage.
+type Row = (f64, f64, f64, f64);
+
+fn single(mut w: Box<dyn Workload>, seed: u64) -> Row {
     let base = run(&mut *w, &driver_config(Scheme::Baseline, true, seed));
-    let ours = run(&mut *w, &driver_config(Scheme::FfccdCheckLookup, true, seed));
+    let ours = run(
+        &mut *w,
+        &driver_config(Scheme::FfccdCheckLookup, true, seed),
+    );
     (
         mib(base.avg_footprint),
         mib(base.avg_live),
@@ -17,9 +24,13 @@ fn single(mut w: Box<dyn Workload>, seed: u64) -> (f64, f64, f64, f64) {
     )
 }
 
-fn multi(make: &dyn Fn() -> Box<dyn Workload>, seed: u64) -> (f64, f64, f64, f64) {
+fn multi(make: &dyn Fn() -> Box<dyn Workload>, seed: u64) -> Row {
     let base = run_mt(make(), 4, &driver_config(Scheme::Baseline, true, seed));
-    let ours = run_mt(make(), 4, &driver_config(Scheme::FfccdCheckLookup, true, seed));
+    let ours = run_mt(
+        make(),
+        4,
+        &driver_config(Scheme::FfccdCheckLookup, true, seed),
+    );
     (
         mib(base.avg_footprint),
         mib(base.avg_live),
@@ -35,13 +46,13 @@ fn main() {
         "DS & App.", "PMDK(MB)", "Actual", "Ours", "Reduction%"
     );
     rule(60);
-    let rows: Vec<(&str, (f64, f64, f64, f64))> = vec![
-        ("BzTree", single(Box::new(BzTree::new()), 0x7AB4_1)),
-        ("BzTree (4T)", multi(&|| Box::new(BzTree::new()), 0x7AB4_2)),
-        ("FPTree", single(Box::new(FpTree::new()), 0x7AB4_3)),
-        ("FPTree (4T)", multi(&|| Box::new(FpTree::new()), 0x7AB4_4)),
-        ("Echo", single(Box::new(Echo::new()), 0x7AB4_5)),
-        ("pmemkv", single(Box::new(Pmemkv::new()), 0x7AB4_6)),
+    let rows: Vec<(&str, Row)> = vec![
+        ("BzTree", single(Box::new(BzTree::new()), 0x7AB41)),
+        ("BzTree (4T)", multi(&|| Box::new(BzTree::new()), 0x7AB42)),
+        ("FPTree", single(Box::new(FpTree::new()), 0x7AB43)),
+        ("FPTree (4T)", multi(&|| Box::new(FpTree::new()), 0x7AB44)),
+        ("Echo", single(Box::new(Echo::new()), 0x7AB45)),
+        ("pmemkv", single(Box::new(Pmemkv::new()), 0x7AB46)),
     ];
     let mut sums = [0.0f64; 4];
     for (name, (pmdk, actual, ours, red)) in &rows {

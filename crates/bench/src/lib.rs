@@ -52,7 +52,12 @@ pub fn driver_config(scheme: Scheme, huge_pages: bool, seed: u64) -> DriverConfi
 }
 
 /// Runs one workload under one scheme with the standard configuration.
-pub fn run_workload(workload: &mut dyn Workload, scheme: Scheme, huge: bool, seed: u64) -> RunResult {
+pub fn run_workload(
+    workload: &mut dyn Workload,
+    scheme: Scheme,
+    huge: bool,
+    seed: u64,
+) -> RunResult {
     let cfg = driver_config(scheme, huge, seed);
     run(workload, &cfg)
 }
@@ -123,7 +128,7 @@ pub fn breakdown(ours: &RunResult, baseline_app_cycles: u64) -> Breakdown {
     let b = baseline_app_cycles.max(1) as f64;
     let pct = |c: u64| c as f64 / b * 100.0;
     let mark = ours.gc.mark_cycles + ours.gc.sweep_cycles + ours.gc.summary_cycles;
-    
+
     Breakdown {
         mark_summary_pct: pct(mark),
         copy_pct: pct(ours.gc.copy_cycles),
@@ -175,7 +180,8 @@ mod tests {
         cfg.defrag.min_live_bytes = 1 << 12;
         let r = run(&mut w, &cfg);
         let bd = breakdown(&r, r.app_cycles);
-        let sum = bd.mark_summary_pct + bd.copy_pct + bd.check_lookup_pct + bd.state_pct + bd.ref_pct;
+        let sum =
+            bd.mark_summary_pct + bd.copy_pct + bd.check_lookup_pct + bd.state_pct + bd.ref_pct;
         assert!((sum - bd.total_pct).abs() < 1e-6);
     }
 }

@@ -46,7 +46,7 @@ impl DefragHeap {
             }
         }
         // Emptier frames first: they are the cheapest to move.
-        frames.sort_by(|a, b| b.2.cmp(&a.2));
+        frames.sort_by_key(|f| std::cmp::Reverse(f.2));
         let mut used: Vec<bool> = vec![false; frames.len()];
         let mut moves: HashMap<u64, u64> = HashMap::new(); // src frame → dst frame
         for i in 0..frames.len() {
@@ -100,19 +100,25 @@ impl DefragHeap {
         // One ref-fixup walk (in the real Mesh this is a page-table remap).
         let engine2 = engine.clone();
         let moves2 = moves.clone();
-        walk_refs(ctx, engine, pool.registry(), &layout, move |ctx, slot_off, target| {
-            if target.is_null() {
-                return None;
-            }
-            let hdr = target.offset() - OBJ_HEADER_BYTES;
-            let frame = layout.frame_of(hdr)?;
-            let dst = *moves2.get(&frame)?;
-            let new_off = layout.frame_start(dst) + (hdr - layout.frame_start(frame));
-            let new = PmPtr::new(target.pool_id(), new_off + OBJ_HEADER_BYTES);
-            engine2.write_u64(ctx, slot_off, new.raw());
-            engine2.persist(ctx, slot_off, 8);
-            Some(new)
-        });
+        walk_refs(
+            ctx,
+            engine,
+            pool.registry(),
+            &layout,
+            move |ctx, slot_off, target| {
+                if target.is_null() {
+                    return None;
+                }
+                let hdr = target.offset() - OBJ_HEADER_BYTES;
+                let frame = layout.frame_of(hdr)?;
+                let dst = *moves2.get(&frame)?;
+                let new_off = layout.frame_start(dst) + (hdr - layout.frame_start(frame));
+                let new = PmPtr::new(target.pool_id(), new_off + OBJ_HEADER_BYTES);
+                engine2.write_u64(ctx, slot_off, new.raw());
+                engine2.persist(ctx, slot_off, 8);
+                Some(new)
+            },
+        );
         let released = moves.len() as u64;
         for &src in moves.keys() {
             self.inner.pool.release_frame(ctx, src);
@@ -179,17 +185,23 @@ impl DefragHeap {
         // Fix every reference.
         let engine2 = engine.clone();
         let forward2 = forward.clone();
-        walk_refs(ctx, engine, pool.registry(), &layout, move |ctx, slot_off, target| {
-            if target.is_null() {
-                return None;
-            }
-            let hdr = target.offset() - OBJ_HEADER_BYTES;
-            let new_hdr = *forward2.get(&hdr)?;
-            let new = PmPtr::new(target.pool_id(), new_hdr + OBJ_HEADER_BYTES);
-            engine2.write_u64(ctx, slot_off, new.raw());
-            engine2.persist(ctx, slot_off, 8);
-            Some(new)
-        });
+        walk_refs(
+            ctx,
+            engine,
+            pool.registry(),
+            &layout,
+            move |ctx, slot_off, target| {
+                if target.is_null() {
+                    return None;
+                }
+                let hdr = target.offset() - OBJ_HEADER_BYTES;
+                let new_hdr = *forward2.get(&hdr)?;
+                let new = PmPtr::new(target.pool_id(), new_hdr + OBJ_HEADER_BYTES);
+                engine2.write_u64(ctx, slot_off, new.raw());
+                engine2.persist(ctx, slot_off, 8);
+                Some(new)
+            },
+        );
         // Release the old frames; destinations become ordinary frames.
         let mut released = 0u64;
         for f in source_set {

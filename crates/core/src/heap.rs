@@ -10,8 +10,8 @@ use parking_lot::{Mutex, RwLock};
 use ffccd_arch::{CheckLookupUnit, GcMetaLayout, LookupResult, Pmft, PmftEntry, Rbb};
 use ffccd_pmem::{Ctx, PmEngine};
 use ffccd_pmop::{
-    PmPool, PmPtr, PoolConfig, PoolError, TypeId, TypeRegistry, FRAME_BYTES,
-    OBJ_HEADER_BYTES, SLOT_BYTES,
+    PmPool, PmPtr, PoolConfig, PoolError, TypeId, TypeRegistry, FRAME_BYTES, OBJ_HEADER_BYTES,
+    SLOT_BYTES,
 };
 
 use crate::config::{DefragConfig, Scheme};
@@ -277,7 +277,9 @@ impl DefragHeap {
             return;
         }
         let layout = *self.inner.pool.layout();
-        let Some(frame) = layout.frame_of(off) else { return };
+        let Some(frame) = layout.frame_of(off) else {
+            return;
+        };
         let guard = self.inner.cycle.lock();
         let Some(cs) = guard.as_ref() else { return };
         for e in cs.entries.values() {
@@ -291,8 +293,7 @@ impl DefragHeap {
                 let src_obj = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
                 let word = self.engine().peek_u64(src_obj);
                 let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
-                if off_in_frame >= dst_obj && off_in_frame + data.len() as u64 <= dst_obj + total
-                {
+                if off_in_frame >= dst_obj && off_in_frame + data.len() as u64 <= dst_obj + total {
                     let mirror = src_obj + (off_in_frame - dst_obj);
                     self.engine().write(ctx, mirror, data);
                     self.engine().persist(ctx, mirror, data.len() as u64);
@@ -443,8 +444,7 @@ impl DefragHeap {
 
         // 2. relocate on first touch.
         self.ensure_relocated(ctx, frame, slot, dest_frame, dest_slot);
-        let new_hdr =
-            inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
+        let new_hdr = inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
         PmPtr::new(ptr.pool_id(), new_hdr + OBJ_HEADER_BYTES)
     }
 
@@ -461,15 +461,21 @@ impl DefragHeap {
         let inner = &*self.inner;
         let t0 = ctx.cycles();
         if self.read_moved(ctx, frame, slot) {
-            inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            inner
+                .stats
+                .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
             return;
         }
         let _g = inner.reloc_lock.lock();
         if self.read_moved(ctx, frame, slot) {
-            inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            inner
+                .stats
+                .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
             return;
         }
-        inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+        inner
+            .stats
+            .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
 
         let src = inner.pool.layout().frame_start(frame) + slot as u64 * SLOT_BYTES;
         let dst = inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
@@ -500,12 +506,16 @@ impl DefragHeap {
                 ffccd_arch::relocate(ctx, self.engine(), src, dst, total);
             }
         }
-        inner.stats.add_cycles(&inner.stats.copy_cycles, ctx.cycles() - t1);
+        inner
+            .stats
+            .add_cycles(&inner.stats.copy_cycles, ctx.cycles() - t1);
 
         // 4. moved[x] = 1 — persistence again differs per scheme.
         let t2 = ctx.cycles();
         self.write_moved(ctx, frame, slot);
-        inner.stats.add_cycles(&inner.stats.state_cycles, ctx.cycles() - t2);
+        inner
+            .stats
+            .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t2);
         inner.stats.add_cycles(&inner.stats.objects_relocated, 1);
 
         // Progressive release (§5): once every object of the source frame
@@ -552,8 +562,8 @@ impl DefragHeap {
 
     /// Destination payload pointer for a PMFT mapping.
     pub(crate) fn dest_ptr(&self, entry: &PmftEntry, dest_slot: u8) -> PmPtr {
-        let hdr = self.inner.pool.layout().frame_start(entry.dest_frame)
-            + dest_slot as u64 * SLOT_BYTES;
+        let hdr =
+            self.inner.pool.layout().frame_start(entry.dest_frame) + dest_slot as u64 * SLOT_BYTES;
         PmPtr::new(self.inner.pool.pool_id(), hdr + OBJ_HEADER_BYTES)
     }
 

@@ -31,6 +31,7 @@ mod walk;
 
 pub use config::{DefragConfig, Scheme};
 pub use heap::DefragHeap;
+pub use phases::phase_sites;
 pub use recovery::{recover, RecoveryReport};
 pub use stats::{GcStats, GcStatsSnapshot};
 pub use validate::{validate_heap, ValidationSummary};

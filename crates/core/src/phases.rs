@@ -15,6 +15,20 @@ use crate::walk::walk_refs;
 /// fuller pages cost more copies than the footprint they release.
 const MAX_EVACUATION_OCCUPANCY: f64 = 0.9;
 
+/// Phase-transition codes reported to the engine's crash-site tracker
+/// (`PmEngine::note_phase_site`): each marks a durability-relevant GC state
+/// change that a crash-site sweep wants to probe right after.
+pub mod phase_sites {
+    /// The stop-the-world mark/sweep/summary pass began.
+    pub const STW_BEGIN: u64 = 0;
+    /// A compaction cycle was armed (cycle header persisted, RBB/CLU on).
+    pub const CYCLE_ARMED: u64 = 1;
+    /// Termination (`finish_cycle`, §5) began.
+    pub const TERMINATE_BEGIN: u64 = 2;
+    /// Termination completed; the heap is idle again.
+    pub const TERMINATE_END: u64 = 3;
+}
+
 impl DefragHeap {
     /// The monitor hook (§5): called from allocation sites; begins a
     /// defragmentation cycle when fragR exceeds the trigger ratio. Returns
@@ -47,6 +61,7 @@ impl DefragHeap {
             return false;
         }
         let _w = self.inner.world.write();
+        self.engine().note_phase_site(phase_sites::STW_BEGIN);
         let stats = &self.inner.stats;
 
         // -- marking: STW reachability from the roots (idempotent) --
@@ -77,8 +92,8 @@ impl DefragHeap {
         let mut dead: Vec<PmPtr> = Vec::new();
         for frame in 0..pool.layout().num_frames {
             let st = pool.frame_state(frame);
-            let is_head = st.kind == FrameKind::Active
-                || (st.kind == FrameKind::Huge && st.is_start(0));
+            let is_head =
+                st.kind == FrameKind::Active || (st.kind == FrameKind::Huge && st.is_start(0));
             if !is_head {
                 continue;
             }
@@ -90,7 +105,9 @@ impl DefragHeap {
         }
         for ptr in dead {
             if pool.pfree(ctx, ptr).is_ok() {
-                self.inner.stats.add_cycles(&self.inner.stats.objects_swept, 1);
+                self.inner
+                    .stats
+                    .add_cycles(&self.inner.stats.objects_swept, 1);
             }
         }
     }
@@ -170,8 +187,7 @@ impl DefragHeap {
             let dest_frames = sel_slots.div_ceil(256);
             let dest_pages = dest_frames.div_ceil(fpp);
             let projected = (footprint + dest_pages * layout.os_page_size
-                - selected.len() as u64 * layout.os_page_size)
-                as f64
+                - selected.len() as u64 * layout.os_page_size) as f64
                 / live_total as f64;
             if projected <= inner.cfg.target_ratio {
                 break;
@@ -274,7 +290,11 @@ impl DefragHeap {
 
         // Commit point: the persisted cycle header makes the cycle real.
         engine.write_u64(ctx, inner.meta.cycle_header, 1);
-        engine.write_u64(ctx, inner.meta.cycle_header + 8, scheme_code(inner.cfg.scheme));
+        engine.write_u64(
+            ctx,
+            inner.meta.cycle_header + 8,
+            scheme_code(inner.cfg.scheme),
+        );
         engine.persist(ctx, inner.meta.cycle_header, 16);
 
         // Arm the hardware.
@@ -297,6 +317,7 @@ impl DefragHeap {
             inner.op_counter.load(Ordering::Relaxed).max(1),
             Ordering::Relaxed,
         );
+        engine.note_phase_site(phase_sites::CYCLE_ARMED);
         true
     }
 
@@ -312,11 +333,18 @@ impl DefragHeap {
             for _ in 0..budget {
                 let item = {
                     let mut guard = self.inner.cycle.lock();
-                    let Some(cs) = guard.as_mut() else { return false };
+                    let Some(cs) = guard.as_mut() else {
+                        return false;
+                    };
                     match cs.pending.pop_front() {
                         Some((frame, slot)) => {
                             let e = cs.entries.get(&frame).expect("entry for pending frame");
-                            (frame, slot, e.dest_frame, e.lookup(slot).expect("mapped slot"))
+                            (
+                                frame,
+                                slot,
+                                e.dest_frame,
+                                e.lookup(slot).expect("mapped slot"),
+                            )
                         }
                         None => break,
                     }
@@ -352,6 +380,7 @@ impl DefragHeap {
             return;
         };
         let engine = self.engine();
+        engine.note_phase_site(phase_sites::TERMINATE_BEGIN);
         let layout = *inner.pool.layout();
 
         // 1. finish pending relocations.
@@ -414,16 +443,25 @@ impl DefragHeap {
             .stats
             .add_cycles(&inner.stats.ref_fixup_cycles, ctx.cycles() - t0);
 
-        // 4. per-frame teardown: PMFT entry, frag bit, then the frame
-        //    itself — in that order, so a crash leaves at worst an
-        //    unreachable stale copy for the next sweep.
+        // 3b. commit point: all destination data and reference rewrites are
+        //     durable, so advance the cycle header to state 2 ("fixup
+        //     durable, teardown in progress"). Past this point recovery must
+        //     only *complete* the teardown — frames released below lose
+        //     their PMFT entries, and a state-1-style re-copy would
+        //     resurrect pre-fixup references into freed frames.
+        engine.write_u64(ctx, inner.meta.cycle_header, 2);
+        engine.persist(ctx, inner.meta.cycle_header, 8);
+
+        // 4. per-frame teardown: frag bit, the frame itself, then the PMFT
+        //    entry — the entry goes last so state-2 recovery can finish any
+        //    frame whose teardown was interrupted.
         for &f in &cs.reloc_frames {
-            inner.pmft.clear(ctx, engine, f);
             let fb = inner.meta.fragmap_byte(f);
             let byte = engine.read_vec(ctx, fb, 1)[0] & !(1 << (f % 8));
             engine.write(ctx, fb, &[byte]);
             engine.persist(ctx, fb, 1);
             inner.pool.release_frame(ctx, f);
+            inner.pmft.clear(ctx, engine, f);
             inner.stats.add_cycles(&inner.stats.frames_released, 1);
         }
 
@@ -450,6 +488,7 @@ impl DefragHeap {
         }
         inner.in_cycle.store(false, Ordering::Release);
         inner.stats.add_cycles(&inner.stats.cycles_completed, 1);
+        engine.note_phase_site(phase_sites::TERMINATE_END);
     }
 
     /// `exit()` (§5): finishes any ongoing defragmentation and releases all

@@ -17,6 +17,16 @@
 //!   reached lines (which may hold newer application data) alone
 //!   (Observation 4, Figure 9b).
 //!
+//! The persistent cycle header is a two-commit-point state machine:
+//! `1` is written when the summary phase commits (reservations + PMFT are
+//! durable), and `2` when the terminate fixup's fence completes (all
+//! destination copies and reference rewrites are durable). Under state `2`
+//! the per-scheme disciplines above must *not* run — relocation frames
+//! released by the interrupted teardown have no PMFT entries left, so a
+//! re-copy would overwrite fixed-up destination copies with stale source
+//! references into freed frames. State `2` recovery only completes the
+//! teardown of the surviving entries.
+//!
 //! The recovery procedure itself is conservative: every write it makes is
 //! immediately persisted (§4.1: "with persist barriers and logging").
 
@@ -70,10 +80,16 @@ pub fn recover(
     scheme: Scheme,
 ) -> Result<RecoveryReport, PoolError> {
     let (magic, os_page, num_frames) = engine.with_media(|m| {
-        (m.read_u64(0), m.read_u64(HDR_OS_PAGE), m.read_u64(HDR_NUM_FRAMES))
+        (
+            m.read_u64(0),
+            m.read_u64(HDR_OS_PAGE),
+            m.read_u64(HDR_NUM_FRAMES),
+        )
     });
     if magic != POOL_MAGIC {
-        return Err(PoolError::BadPool { reason: "bad magic" });
+        return Err(PoolError::BadPool {
+            reason: "bad magic",
+        });
     }
     let layout = PoolLayout::compute(num_frames * FRAME_BYTES, os_page);
     let meta = GcMetaLayout::from_pool(&layout);
@@ -83,7 +99,7 @@ pub fn recover(
 
     let state = engine.read_u64(&mut ctx, meta.cycle_header);
     let entries = pmft.load_all(engine);
-    if entries.is_empty() {
+    if entries.is_empty() && state == 0 {
         report.cycles = ctx.cycles();
         return Ok(report);
     }
@@ -97,6 +113,39 @@ pub fn recover(
         return Ok(report);
     }
 
+    if state >= 2 {
+        // Crash during teardown, after the terminate fixup's commit point:
+        // every destination copy and reference rewrite is already durable,
+        // and some relocation frames may already be released (their PMFT
+        // entries are gone, so their old references cannot be redirected
+        // any more). Re-copying or rewriting references here would roll the
+        // durable fixup back and resurrect pointers into freed frames —
+        // recovery must only *complete* the teardown of the surviving
+        // entries.
+        for e in &entries {
+            for _ in e.mappings() {
+                report.already_durable += 1;
+            }
+            let fb = meta.fragmap_byte(e.reloc_frame);
+            let byte = engine.read_vec(&mut ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+            engine.write(&mut ctx, fb, &[byte]);
+            engine.persist(&mut ctx, fb, 1);
+            // The whole relocation frame is vacated: every object lives at
+            // its destination now.
+            engine.write(&mut ctx, layout.bitmap_record(e.reloc_frame), &[0u8; 64]);
+            engine.persist(&mut ctx, layout.bitmap_record(e.reloc_frame), 64);
+            engine.write(&mut ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
+            engine.persist(&mut ctx, meta.moved_bitmap(e.reloc_frame), 32);
+            engine.write_u64(&mut ctx, meta.reached_word(e.dest_frame), 0);
+            engine.persist(&mut ctx, meta.reached_word(e.dest_frame), 8);
+            pmft.clear(&mut ctx, engine, e.reloc_frame);
+        }
+        engine.write_u64(&mut ctx, meta.cycle_header, 0);
+        engine.persist(&mut ctx, meta.cycle_header, 16);
+        report.cycles = ctx.cycles();
+        return Ok(report);
+    }
+
     // ---- state == 1: an in-flight compaction cycle ---------------------------
 
     // Classify and fix every mapping.
@@ -106,7 +155,7 @@ pub fn recover(
             let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
             let dst = layout.frame_start(e.dest_frame) + dst_slot as u64 * SLOT_BYTES;
             let word = engine.read_u64(&mut ctx, src);
-            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let total = clamped_total(word, src_slot, dst_slot as usize);
             let moved = read_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
             let fate = match scheme {
                 Scheme::Baseline => unreachable!("baseline never has a cycle"),
@@ -146,10 +195,8 @@ pub fn recover(
                     let obj_lines: Vec<u64> = lines_spanning(dst, total)
                         .map(|l| (l.start() - frame_base) / CACHELINE_BYTES)
                         .collect();
-                    let reached_count = obj_lines
-                        .iter()
-                        .filter(|&&b| reached >> b & 1 == 1)
-                        .count();
+                    let reached_count =
+                        obj_lines.iter().filter(|&&b| reached >> b & 1 == 1).count();
                     if reached_count == 0 {
                         // Not reached: the copy never hit PM. Undo below;
                         // clear a possibly-persisted moved bit (its line may
@@ -203,48 +250,51 @@ pub fn recover(
     let mut refs_fixed = 0u64;
     {
         let engine2 = engine.clone();
-        walk_refs(&mut ctx, engine, registry, &layout, |ctx, slot_off, target| {
-            if target.is_null() {
-                return None;
-            }
-            let hdr = target.offset() - OBJ_HEADER_BYTES;
-            let frame = layout.frame_of(hdr)?;
-            let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
-            // Reference still points into a relocation frame?
-            if let Some(e) = by_frame.get(&frame) {
-                let d = e.lookup(slot)?;
-                match fates.get(&(frame, slot)) {
-                    Some(Fate::Undone) => None, // stays at source, correct
-                    _ => {
-                        let new_hdr =
-                            layout.frame_start(e.dest_frame) + d as u64 * SLOT_BYTES;
-                        let new = PmPtr::new(target.pool_id(), new_hdr + OBJ_HEADER_BYTES);
-                        engine2.write_u64(ctx, slot_off, new.raw());
+        walk_refs(
+            &mut ctx,
+            engine,
+            registry,
+            &layout,
+            |ctx, slot_off, target| {
+                if target.is_null() {
+                    return None;
+                }
+                let hdr = target.offset() - OBJ_HEADER_BYTES;
+                let frame = layout.frame_of(hdr)?;
+                let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
+                // Reference still points into a relocation frame?
+                if let Some(e) = by_frame.get(&frame) {
+                    let d = e.lookup(slot)?;
+                    match fates.get(&(frame, slot)) {
+                        Some(Fate::Undone) => None, // stays at source, correct
+                        _ => {
+                            let new_hdr = layout.frame_start(e.dest_frame) + d as u64 * SLOT_BYTES;
+                            let new = PmPtr::new(target.pool_id(), new_hdr + OBJ_HEADER_BYTES);
+                            engine2.write_u64(ctx, slot_off, new.raw());
+                            engine2.persist(ctx, slot_off, 8);
+                            refs_fixed += 1;
+                            Some(new)
+                        }
+                    }
+                } else if slot < 256 && dest_owner.contains_key(&(frame, slot as u8)) {
+                    let (sframe, sslot) = dest_owner[&(frame, slot as u8)];
+                    // Reference points at a destination: undo it if the object
+                    // was not reached (Observation 3).
+                    if fates.get(&(sframe, sslot)) == Some(&Fate::Undone) {
+                        let old_hdr = layout.frame_start(sframe) + sslot as u64 * SLOT_BYTES;
+                        let old = PmPtr::new(target.pool_id(), old_hdr + OBJ_HEADER_BYTES);
+                        engine2.write_u64(ctx, slot_off, old.raw());
                         engine2.persist(ctx, slot_off, 8);
                         refs_fixed += 1;
-                        Some(new)
+                        Some(old)
+                    } else {
+                        None
                     }
-                }
-            } else if slot < 256
-                && dest_owner.contains_key(&(frame, slot as u8))
-            {
-                let (sframe, sslot) = dest_owner[&(frame, slot as u8)];
-                // Reference points at a destination: undo it if the object
-                // was not reached (Observation 3).
-                if fates.get(&(sframe, sslot)) == Some(&Fate::Undone) {
-                    let old_hdr = layout.frame_start(sframe) + sslot as u64 * SLOT_BYTES;
-                    let old = PmPtr::new(target.pool_id(), old_hdr + OBJ_HEADER_BYTES);
-                    engine2.write_u64(ctx, slot_off, old.raw());
-                    engine2.persist(ctx, slot_off, 8);
-                    refs_fixed += 1;
-                    Some(old)
                 } else {
                     None
                 }
-            } else {
-                None
-            }
-        });
+            },
+        );
     }
     report.refs_fixed = refs_fixed;
 
@@ -259,7 +309,7 @@ pub fn recover(
         for (src_slot, dst_slot) in e.mappings() {
             let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
             let word = engine.read_u64(&mut ctx, src);
-            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let total = clamped_total(word, src_slot, dst_slot as usize);
             let slots = total.div_ceil(SLOT_BYTES) as usize;
             // Tolerant clearing: the application may have pfree'd a moved
             // object at its destination mid-cycle, so some bits may already
@@ -297,6 +347,15 @@ pub fn recover(
     Ok(report)
 }
 
+/// Object footprint from a header word, clamped so that recovery never
+/// reads, writes, or frees slots past the end of a frame even when the
+/// header word it read was torn by the crash.
+fn clamped_total(word: u64, src_slot: usize, dst_slot: usize) -> u64 {
+    let raw = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+    let cap = FRAME_BYTES - src_slot.max(dst_slot) as u64 * SLOT_BYTES;
+    raw.min(cap)
+}
+
 fn record_at(engine: &PmEngine, ctx: &mut Ctx, off: u64) -> FrameState {
     let rec: [u8; 64] = engine
         .read_vec(ctx, off, 64)
@@ -310,7 +369,13 @@ fn write_record(engine: &PmEngine, ctx: &mut Ctx, off: u64, st: &FrameState) {
     engine.persist(ctx, off, 64);
 }
 
-fn read_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) -> bool {
+fn read_moved(
+    ctx: &mut Ctx,
+    engine: &PmEngine,
+    meta: &GcMetaLayout,
+    frame: u64,
+    slot: usize,
+) -> bool {
     let off = meta.moved_bitmap(frame) + slot as u64 / 8;
     engine.read_vec(ctx, off, 1)[0] >> (slot % 8) & 1 == 1
 }
@@ -355,7 +420,7 @@ fn rollback_summary(
         for (src_slot, dst_slot) in e.mappings() {
             let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
             let word = engine.read_u64(ctx, src);
-            let total = (word & 0xFFFF_FFFF) + OBJ_HEADER_BYTES;
+            let total = clamped_total(word, src_slot, dst_slot as usize);
             let slots = total.div_ceil(SLOT_BYTES) as usize;
             // The reservation may or may not have persisted; clear whatever
             // is there, one slot at a time.

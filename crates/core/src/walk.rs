@@ -35,7 +35,9 @@ pub(crate) fn walk_refs(
             continue;
         }
         debug_assert!(
-            layout.frame_of(target.offset() - OBJ_HEADER_BYTES).is_some(),
+            layout
+                .frame_of(target.offset() - OBJ_HEADER_BYTES)
+                .is_some(),
             "reachable pointer {target:?} must land in the data region"
         );
         let word = engine.read_u64(ctx, target.offset() - OBJ_HEADER_BYTES);

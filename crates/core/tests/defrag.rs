@@ -130,7 +130,11 @@ fn full_cycle_for(scheme: Scheme) {
         before.frag_ratio,
         after.frag_ratio
     );
-    assert_eq!(list_digest(&heap, &mut ctx), digest, "{scheme}: data intact");
+    assert_eq!(
+        list_digest(&heap, &mut ctx),
+        digest,
+        "{scheme}: data intact"
+    );
     let summary = validate_heap(&heap).expect("heap consistent");
     assert_eq!(summary.reachable_objects, 120);
     let gc = heap.gc_stats();
@@ -180,7 +184,10 @@ fn monitor_triggers_on_threshold() {
     let pool_cfg = PoolConfig {
         data_bytes: 2 << 20,
         os_page_size: 4096,
-        machine: MachineConfig { seed: 9, ..MachineConfig::default() },
+        machine: MachineConfig {
+            seed: 9,
+            ..MachineConfig::default()
+        },
     };
     let cfg = DefragConfig {
         min_live_bytes: 1 << 12,
@@ -268,9 +275,8 @@ fn crash_midway_and_recover(scheme: Scheme, seed: u64, steps_before_crash: usize
         digest2, digest,
         "{scheme} seed {seed} steps {steps_before_crash}: data survives the crash"
     );
-    validate_heap(&heap2).unwrap_or_else(|e| {
-        panic!("{scheme} seed {seed} steps {steps_before_crash}: {e:?}")
-    });
+    validate_heap(&heap2)
+        .unwrap_or_else(|e| panic!("{scheme} seed {seed} steps {steps_before_crash}: {e:?}"));
     // The recovered heap keeps working: next cycle runs clean.
     heap2.defrag_now(&mut ctx2);
     while heap2.step_compaction(&mut ctx2, 64) {}
@@ -476,7 +482,8 @@ fn validator_catches_dangling_pointers() {
     heap.free(&mut ctx, nodes[2]).expect("free mid node");
     let errs = validate_heap(&heap).expect_err("must detect the dangling pointer");
     assert!(
-        errs.iter().any(|e| e.contains("dangling") || e.contains("free frame")),
+        errs.iter()
+            .any(|e| e.contains("dangling") || e.contains("free frame")),
         "got: {errs:?}"
     );
 }
@@ -491,7 +498,10 @@ fn validator_catches_stale_cycle_header() {
     heap.engine().write_u64(&mut ctx, hdr, 1);
     heap.engine().persist(&mut ctx, hdr, 8);
     let errs = validate_heap(&heap).expect_err("must flag the stale header");
-    assert!(errs.iter().any(|e| e.contains("cycle header")), "got: {errs:?}");
+    assert!(
+        errs.iter().any(|e| e.contains("cycle header")),
+        "got: {errs:?}"
+    );
 }
 
 #[test]
@@ -508,7 +518,7 @@ fn summary_crash_before_commit_rolls_back() {
     // destination frame (as the real summary's evacuability check ensures).
     remove_if(&heap, &mut ctx, |v| v % 4 != 0);
     let digest = list_digest(&heap, &mut ctx);
-    let nodes = vec![heap.root(&mut ctx)];
+    let nodes = [heap.root(&mut ctx)];
     let layout = *heap.pool().layout();
     let meta = GcMetaLayout::from_pool(&layout);
     let pmft = Pmft::new(meta);
@@ -570,15 +580,20 @@ fn recovery_is_idempotent_and_recoverable() {
         let image = heap.engine().crash_image();
 
         // First recovery.
-        let (heap2, r1) = DefragHeap::open_recovered(&image, registry(), DefragConfig::normal(scheme))
-            .expect("first recovery");
+        let (heap2, r1) =
+            DefragHeap::open_recovered(&image, registry(), DefragConfig::normal(scheme))
+                .expect("first recovery");
         assert!(r1.had_cycle);
         // Crash "during the restart" (right after recovery persisted its
         // fixes) and recover again: nothing left to do.
         let image2 = heap2.engine().crash_image();
-        let (heap3, r2) = DefragHeap::open_recovered(&image2, registry(), DefragConfig::normal(scheme))
-            .expect("second recovery");
-        assert!(!r2.had_cycle, "{scheme}: recovery must fully retire the cycle");
+        let (heap3, r2) =
+            DefragHeap::open_recovered(&image2, registry(), DefragConfig::normal(scheme))
+                .expect("second recovery");
+        assert!(
+            !r2.had_cycle,
+            "{scheme}: recovery must fully retire the cycle"
+        );
         assert_eq!(r2.finished + r2.undone, 0);
         let mut ctx3 = heap3.ctx();
         assert_eq!(list_digest(&heap3, &mut ctx3), digest, "{scheme}");

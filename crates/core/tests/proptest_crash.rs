@@ -61,7 +61,10 @@ fn run_case(scheme: Scheme, ops: Vec<Op>, crash_at: usize, seed: u64) -> Result<
         PoolConfig {
             data_bytes: 2 << 20,
             os_page_size: 4096,
-            machine: MachineConfig { seed, ..MachineConfig::default() },
+            machine: MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            },
         },
         registry(),
         defrag,

@@ -24,9 +24,16 @@ pub struct CacheLine {
 
 /// The volatile cache: a map from [`Line`] to [`CacheLine`] with bounded
 /// capacity and deterministic pseudo-random victim selection.
+///
+/// Residents live in a dense `entries` vector with a `HashMap` index into
+/// it. Victims are chosen by position in the vector, never by `HashMap`
+/// iteration order — the std `HashMap` randomizes its hash keys per
+/// instance, so any behaviour depending on its order would differ between
+/// two engines built from the same seed and break crash-site replay.
 #[derive(Debug)]
 pub struct CacheSim {
-    lines: HashMap<Line, CacheLine>,
+    index: HashMap<Line, usize>,
+    entries: Vec<(Line, CacheLine)>,
     capacity: usize,
     rng: u64,
 }
@@ -48,10 +55,21 @@ impl CacheSim {
     /// Creates an empty cache of `capacity` lines.
     pub fn new(capacity: usize, seed: u64) -> Self {
         CacheSim {
-            lines: HashMap::with_capacity(capacity.min(1 << 16)),
+            index: HashMap::with_capacity(capacity.min(1 << 16)),
+            entries: Vec::with_capacity(capacity.min(1 << 16)),
             capacity: capacity.max(1),
             rng: seed | 1,
         }
+    }
+
+    /// Removes `line`, fixing up the index entry displaced by swap-remove.
+    fn remove(&mut self, line: Line) -> Option<CacheLine> {
+        let i = self.index.remove(&line)?;
+        let (_, cl) = self.entries.swap_remove(i);
+        if let Some((moved, _)) = self.entries.get(i) {
+            self.index.insert(*moved, i);
+        }
+        Some(cl)
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -65,46 +83,42 @@ impl CacheSim {
 
     /// Number of lines currently resident.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.entries.len()
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.entries.is_empty()
     }
 
     /// Whether `line` is resident (hit).
     pub fn contains(&self, line: Line) -> bool {
-        self.lines.contains_key(&line)
+        self.index.contains_key(&line)
     }
 
     /// Immutable view of a resident line.
     pub fn peek(&self, line: Line) -> Option<&CacheLine> {
-        self.lines.get(&line)
+        self.index.get(&line).map(|&i| &self.entries[i].1)
     }
 
     /// Ensures `line` is resident, filling from `media` on a miss.
     /// Returns `true` on a hit, `false` on a miss (fill performed).
     /// May evict a victim into `evicted_out`.
-    pub fn touch(
-        &mut self,
-        line: Line,
-        media: &Media,
-        evicted_out: &mut Vec<Evicted>,
-    ) -> bool {
-        if self.lines.contains_key(&line) {
+    pub fn touch(&mut self, line: Line, media: &Media, evicted_out: &mut Vec<Evicted>) -> bool {
+        if self.index.contains_key(&line) {
             return true;
         }
         self.make_room(evicted_out);
         let data = media.read_line(line);
-        self.lines.insert(
+        self.index.insert(line, self.entries.len());
+        self.entries.push((
             line,
             CacheLine {
                 data,
                 dirty: false,
                 pending: false,
             },
-        );
+        ));
         false
     }
 
@@ -114,11 +128,18 @@ impl CacheSim {
     /// # Panics
     ///
     /// Panics if the line is not resident or the write exceeds the line.
-    pub fn write_resident(&mut self, line: Line, offset_in_line: usize, data: &[u8], pending: bool) {
-        let cl = self
-            .lines
-            .get_mut(&line)
+    pub fn write_resident(
+        &mut self,
+        line: Line,
+        offset_in_line: usize,
+        data: &[u8],
+        pending: bool,
+    ) {
+        let i = *self
+            .index
+            .get(&line)
             .expect("write_resident: line not resident");
+        let cl = &mut self.entries[i].1;
         cl.data[offset_in_line..offset_in_line + data.len()].copy_from_slice(data);
         cl.dirty = true;
         cl.pending |= pending;
@@ -130,10 +151,7 @@ impl CacheSim {
     ///
     /// Panics if the line is not resident or the read exceeds the line.
     pub fn read_resident(&self, line: Line, offset_in_line: usize, buf: &mut [u8]) {
-        let cl = self
-            .lines
-            .get(&line)
-            .expect("read_resident: line not resident");
+        let cl = self.peek(line).expect("read_resident: line not resident");
         buf.copy_from_slice(&cl.data[offset_in_line..offset_in_line + buf.len()]);
     }
 
@@ -141,7 +159,8 @@ impl CacheSim {
     /// if it was dirty. The line stays resident but clean (clwb semantics:
     /// write back, do not invalidate).
     pub fn clean(&mut self, line: Line) -> Option<Evicted> {
-        let cl = self.lines.get_mut(&line)?;
+        let i = *self.index.get(&line)?;
+        let cl = &mut self.entries[i].1;
         if !cl.dirty {
             return None;
         }
@@ -159,23 +178,18 @@ impl CacheSim {
     /// Evicts one pseudo-random *dirty* line if any exists (the background
     /// "natural writeback" path). Returns the evicted line.
     pub fn evict_random_dirty(&mut self) -> Option<Evicted> {
-        if self.lines.is_empty() {
+        if self.entries.is_empty() {
             return None;
         }
-        // Collecting dirty keys each call would be O(n); instead probe a few
-        // random buckets via iteration order. HashMap iteration order is
-        // effectively random but stable per map state; skip a pseudo-random
-        // number of entries.
-        let n = self.lines.len();
-        let skip = (self.next_rand() as usize) % n;
-        let key = self
-            .lines
-            .iter()
-            .skip(skip)
-            .chain(self.lines.iter())
+        // Probe the dense entry vector from a pseudo-random start, wrapping
+        // once; the first dirty line found is the victim.
+        let n = self.entries.len();
+        let start = (self.next_rand() as usize) % n;
+        let key = (0..n)
+            .map(|k| &self.entries[(start + k) % n])
             .find(|(_, v)| v.dirty)
             .map(|(k, _)| *k)?;
-        let cl = self.lines.remove(&key).expect("key just found");
+        let cl = self.remove(key).expect("key just found");
         Some(Evicted {
             line: key,
             data: cl.data,
@@ -185,15 +199,11 @@ impl CacheSim {
     }
 
     fn make_room(&mut self, evicted_out: &mut Vec<Evicted>) {
-        while self.lines.len() >= self.capacity {
-            let n = self.lines.len();
-            let skip = (self.next_rand() as usize) % n;
-            let key = *self
-                .lines
-                .keys()
-                .nth(skip)
-                .expect("skip < len, key must exist");
-            let cl = self.lines.remove(&key).expect("key just found");
+        while self.entries.len() >= self.capacity {
+            let n = self.entries.len();
+            let victim = (self.next_rand() as usize) % n;
+            let key = self.entries[victim].0;
+            let cl = self.remove(key).expect("victim is resident");
             if cl.dirty {
                 evicted_out.push(Evicted {
                     line: key,
@@ -207,13 +217,17 @@ impl CacheSim {
 
     /// Drops every line (crash: volatile state vanishes).
     pub fn invalidate_all(&mut self) {
-        self.lines.clear();
+        self.index.clear();
+        self.entries.clear();
     }
 
     /// Iterates over all resident dirty lines (used by non-destructive crash
     /// snapshots to know what *not* to persist).
     pub fn dirty_lines(&self) -> impl Iterator<Item = (Line, &CacheLine)> {
-        self.lines.iter().filter(|(_, v)| v.dirty).map(|(k, v)| (*k, v))
+        self.entries
+            .iter()
+            .filter(|(_, v)| v.dirty)
+            .map(|(k, v)| (*k, v))
     }
 }
 
@@ -296,6 +310,32 @@ mod tests {
         assert_eq!(got.line, Line(1));
         assert!(got.pending);
         assert!(c.evict_random_dirty().is_none());
+    }
+
+    #[test]
+    fn victim_selection_is_deterministic_across_instances() {
+        // Two caches built from the same seed must evict the same victims
+        // for the same access sequence — crash-site replay depends on it.
+        // (A regression: victims were once picked by std HashMap iteration
+        // order, which is randomized per instance.)
+        let m = media();
+        let run = || {
+            let mut c = CacheSim::new(4, 99);
+            let mut order = Vec::new();
+            for i in 0..64u64 {
+                let mut ev = Vec::new();
+                c.touch(Line(i % 16), &m, &mut ev);
+                c.write_resident(Line(i % 16), 0, &[i as u8], false);
+                order.extend(ev.into_iter().map(|e| e.line));
+                if i % 5 == 0 {
+                    if let Some(e) = c.evict_random_dirty() {
+                        order.push(e.line);
+                    }
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl CrashImage {
 
     /// Boots a fresh machine, overriding the RNG seed.
     pub fn restart_with_seed(&self, seed: u64) -> PmEngine {
-        let cfg = MachineConfig { seed, ..self.cfg.clone() };
+        let cfg = MachineConfig {
+            seed,
+            ..self.cfg.clone()
+        };
         PmEngine::from_media(cfg, self.media.clone())
     }
 }

@@ -31,7 +31,15 @@ pub struct Ctx {
     /// wait for each of them to reach the persistence domain, so its cost
     /// scales with this count (reset by the engine at every fence).
     pub unfenced_clwbs: u64,
+    /// Globally unique tag identifying this core's writebacks in the
+    /// engine's in-flight stage (an `sfence` only drains its own core's
+    /// writebacks, like the real instruction). The tag *value* never
+    /// influences simulated behaviour — only equality does — so the
+    /// process-global counter does not break run-to-run determinism.
+    pub(crate) tag: u64,
 }
+
+static NEXT_TAG: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Ctx {
     /// Creates a context with a fresh TLB sized from `cfg`.
@@ -41,6 +49,7 @@ impl Ctx {
             stats: ThreadStats::default(),
             tlb: Tlb::new(cfg),
             unfenced_clwbs: 0,
+            tag: NEXT_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 

@@ -1,5 +1,6 @@
 //! The PM engine: cache + WPQ + media with cycle accounting.
 
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -10,6 +11,7 @@ use crate::crash::CrashImage;
 use crate::ctx::Ctx;
 use crate::media::Media;
 use crate::observer::PersistObserver;
+use crate::sites::{SiteCapture, SiteKind, SiteSummary, SiteTracker};
 use crate::stats::EngineStats;
 use crate::timing::MachineConfig;
 use crate::wpq::{Wpq, WpqEntry};
@@ -18,9 +20,17 @@ struct Inner {
     media: Media,
     cache: CacheSim,
     wpq: Wpq,
+    /// Writebacks started by `clwb` but not yet accepted by the WPQ,
+    /// tagged with the issuing core ([`Ctx::tag`]). An `sfence` drains its
+    /// own core's entries; otherwise one entry retires asynchronously per
+    /// memory operation. Entries here are *not* durable under ADR — this
+    /// stage is exactly the window that makes `sfence` crash-semantically
+    /// meaningful.
+    inflight: VecDeque<(u64, WpqEntry)>,
     stats: EngineStats,
     observer: Option<Arc<dyn PersistObserver>>,
     evict_roll: u64,
+    sites: SiteTracker,
 }
 
 /// A simulated persistent-memory machine shared by all threads.
@@ -40,6 +50,13 @@ struct Inner {
 /// 3. seeded background eviction (≈ one dirty line per `evict_denom` stores),
 ///    modelling the "natural cache eviction" FFCCD's lazy persistence relies
 ///    on (§3.3.3).
+///
+/// A `clwb` alone only *starts* a writeback: the line moves to an
+/// in-flight stage that is still outside the persistence domain, and is
+/// pushed into the WPQ by the issuing core's next `sfence` — or retired
+/// asynchronously, one line per subsequent memory operation. A crash
+/// between the `clwb` and the fence can therefore lose the line; this is
+/// the persist-ordering window the §3.3 schemes differ on.
 #[derive(Clone)]
 pub struct PmEngine {
     inner: Arc<Mutex<Inner>>,
@@ -48,7 +65,9 @@ pub struct PmEngine {
 
 impl std::fmt::Debug for PmEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PmEngine").field("len", &self.len()).finish()
+        f.debug_struct("PmEngine")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -67,9 +86,11 @@ impl PmEngine {
                 media,
                 cache,
                 wpq,
+                inflight: VecDeque::new(),
                 stats: EngineStats::default(),
                 observer: None,
                 evict_roll: cfg.seed | 1,
+                sites: SiteTracker::default(),
             })),
             cfg: Arc::new(cfg),
         }
@@ -118,7 +139,7 @@ impl PmEngine {
         ctx.stats.loads += 1;
         // One outstanding writeback retires per memory operation (the WPQ
         // accepts lines while the core does other work).
-        ctx.unfenced_clwbs = ctx.unfenced_clwbs.saturating_sub(1);
+        inner.retire_one_inflight(&self.cfg, ctx);
         let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
         ctx.charge(tlb_cost);
         let mut cursor = 0usize;
@@ -169,7 +190,7 @@ impl PmEngine {
     fn write_impl(&self, ctx: &mut Ctx, off: u64, data: &[u8], pending: bool) {
         let mut inner = self.inner.lock();
         ctx.stats.stores += 1;
-        ctx.unfenced_clwbs = ctx.unfenced_clwbs.saturating_sub(1);
+        inner.retire_one_inflight(&self.cfg, ctx);
         let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
         ctx.charge(tlb_cost);
         let mut cursor = 0usize;
@@ -185,25 +206,47 @@ impl PmEngine {
                 .write_resident(line, within, &data[cursor..cursor + len], pending);
             cursor += len;
         }
+        inner.site_event(
+            &self.cfg,
+            if pending {
+                SiteKind::PendingStore
+            } else {
+                SiteKind::Store
+            },
+            line_of(off).start(),
+        );
         inner.maybe_background_evict(&self.cfg);
-        inner.background_drain(1);
+        inner.background_drain(&self.cfg, 1);
     }
 
-    /// `clwb`: queue a writeback of the line containing `off` (line stays
+    /// `clwb`: start a writeback of the line containing `off` (line stays
     /// cached, now clean). No-op for clean/absent lines.
+    ///
+    /// The writeback sits in the in-flight stage — *outside* the
+    /// persistence domain — until this core's next [`PmEngine::sfence`]
+    /// pushes it into the WPQ, or asynchronous retirement gets to it.
     pub fn clwb(&self, ctx: &mut Ctx, off: u64) {
         let mut inner = self.inner.lock();
         ctx.stats.clwbs += 1;
         ctx.charge(self.cfg.clwb_cost);
         let line = line_of(off);
         if let Some(ev) = inner.cache.clean(line) {
+            debug_assert!(ev.dirty);
             ctx.unfenced_clwbs += 1;
-            inner.queue_writeback(&self.cfg, ev, Some(ctx));
+            inner.inflight.push_back((
+                ctx.tag,
+                WpqEntry {
+                    line: ev.line,
+                    data: ev.data,
+                    pending: ev.pending,
+                },
+            ));
+            inner.site_event(&self.cfg, SiteKind::Clwb, line.start());
         }
     }
 
-    /// `sfence`: stall until pending writebacks reach the persistence
-    /// domain.
+    /// `sfence`: stall until this core's in-flight writebacks reach the
+    /// persistence domain.
     ///
     /// Under ADR the persistence domain is the *write pending queue*, not
     /// the media: a fence waits for queue entry (Table 2's 30-cycle WPQ
@@ -218,8 +261,20 @@ impl PmEngine {
         ctx.charge(self.cfg.wpq_latency * (1 + ctx.unfenced_clwbs));
         ctx.stats.wpq_drained += ctx.unfenced_clwbs;
         ctx.unfenced_clwbs = 0;
+        // This core's in-flight writebacks enter the WPQ: after the fence
+        // they are durable even if power fails.
+        let mut i = 0;
+        while i < inner.inflight.len() {
+            if inner.inflight[i].0 == ctx.tag {
+                let (_, e) = inner.inflight.remove(i).expect("index in bounds");
+                inner.accept_writeback(&self.cfg, e, Some(ctx));
+            } else {
+                i += 1;
+            }
+        }
+        inner.site_event(&self.cfg, SiteKind::Sfence, 0);
         // Asynchronous drain progress happens while the core stalls.
-        inner.background_drain(1);
+        inner.background_drain(&self.cfg, 1);
     }
 
     /// Convenience: `clwb` every line of `[off, off+len)` then `sfence` —
@@ -238,29 +293,43 @@ impl PmEngine {
     /// buffered state) into the image; dirty cache lines are lost. The live
     /// engine is unaffected — fault-injection takes many images per run.
     pub fn crash_image(&self) -> CrashImage {
-        let inner = self.inner.lock();
-        let mut media = inner.media.clone();
-        let mut in_flight = Vec::new();
-        for e in inner.wpq.entries() {
-            media.write_line(e.line, &e.data);
-            if e.pending {
-                in_flight.push(e.line);
-            }
-        }
-        if self.cfg.eadr {
-            // eADR: residual power flushes the entire cache hierarchy, so
-            // dirty lines are durable too (and pending lines "reach").
-            for (line, cl) in inner.cache.dirty_lines() {
-                media.write_line(line, &cl.data);
-                if cl.pending {
-                    in_flight.push(line);
-                }
-            }
-        }
-        if let Some(obs) = &inner.observer {
-            obs.crash_flush(&mut media, &in_flight);
-        }
-        CrashImage::new(media, self.cfg.as_ref().clone())
+        self.inner.lock().snapshot(&self.cfg)
+    }
+
+    // ---- crash-site tracking ------------------------------------------------
+
+    /// Begins crash-site enumeration: every durability-relevant event gets
+    /// a deterministic sequential ID and is counted; no images are taken.
+    pub fn site_tracking_enumerate(&self) {
+        self.inner.lock().sites.start_enumerate();
+    }
+
+    /// Begins crash-site capture: events get the same deterministic IDs an
+    /// enumeration run assigns, and a [`CrashImage`] is snapshotted (inside
+    /// the engine lock) right after each event whose ID is in `targets`.
+    /// Capturing never perturbs the simulation, so the ID sequence stays
+    /// identical to the reference run.
+    pub fn site_tracking_capture(&self, targets: BTreeSet<u64>) {
+        self.inner.lock().sites.start_capture(targets);
+    }
+
+    /// Stops tracking, returning totals per event kind.
+    pub fn site_tracking_stop(&self) -> SiteSummary {
+        self.inner.lock().sites.stop()
+    }
+
+    /// Takes the crash images captured since the last drain (bounded-memory
+    /// sweeps drain and validate at every op boundary).
+    pub fn drain_site_captures(&self) -> Vec<SiteCapture> {
+        self.inner.lock().sites.drain()
+    }
+
+    /// Reports a GC phase transition from the heap layer as a crash site
+    /// ([`SiteKind::Phase`] with `code` as detail). Cheap no-op while
+    /// tracking is off.
+    pub fn note_phase_site(&self, code: u64) {
+        let mut inner = self.inner.lock();
+        inner.site_event(&self.cfg, SiteKind::Phase, code);
     }
 
     /// Runs `f` with a read-only view of the raw media (validators).
@@ -279,7 +348,7 @@ impl PmEngine {
     /// Direct (unsimulated, uncharged) read used by validation tooling.
     pub fn peek_vec(&self, off: u64, len: u64) -> Vec<u8> {
         // A validator must see the *current logical* contents: cache first,
-        // then WPQ, then media.
+        // then the newest in-flight writeback, then WPQ, then media.
         let inner = self.inner.lock();
         let mut v = vec![0u8; len as usize];
         let mut cursor = 0usize;
@@ -290,6 +359,8 @@ impl PmEngine {
             let n = (end - start) as usize;
             let data: [u8; CACHELINE_BYTES as usize] = if let Some(cl) = inner.cache.peek(line) {
                 cl.data
+            } else if let Some((_, e)) = inner.inflight.iter().rev().find(|(_, e)| e.line == line) {
+                e.data
             } else if let Some(e) = inner.wpq.entries().find(|e| e.line == line) {
                 e.data
             } else {
@@ -309,12 +380,72 @@ impl PmEngine {
 }
 
 impl Inner {
+    /// What media would contain if power failed right now: the WPQ (and,
+    /// under eADR, the in-flight stage and the dirty cache) ADR-flushes
+    /// into a clone of the media; everything else is lost. Runs inside the
+    /// engine lock so crash-site captures are atomic with the event that
+    /// triggered them.
+    fn snapshot(&self, cfg: &MachineConfig) -> CrashImage {
+        let mut media = self.media.clone();
+        let mut pending_lines = Vec::new();
+        for e in self.wpq.entries() {
+            media.write_line(e.line, &e.data);
+            if e.pending {
+                pending_lines.push(e.line);
+            }
+        }
+        if cfg.eadr {
+            // eADR: residual power also flushes the in-flight writeback
+            // stage and the entire cache hierarchy, so those lines are
+            // durable too (and pending lines "reach").
+            for (_, e) in &self.inflight {
+                media.write_line(e.line, &e.data);
+                if e.pending {
+                    pending_lines.push(e.line);
+                }
+            }
+            for (line, cl) in self.cache.dirty_lines() {
+                media.write_line(line, &cl.data);
+                if cl.pending {
+                    pending_lines.push(line);
+                }
+            }
+        }
+        if let Some(obs) = &self.observer {
+            obs.crash_flush(&mut media, &pending_lines);
+        }
+        CrashImage::new(media, cfg.clone())
+    }
+
+    /// Registers a durability-relevant event with the site tracker and
+    /// captures a crash image when the site is targeted.
+    fn site_event(&mut self, cfg: &MachineConfig, kind: SiteKind, detail: u64) {
+        if !self.sites.active() {
+            return;
+        }
+        if let Some(trace) = self.sites.note(kind, detail) {
+            let image = self.snapshot(cfg);
+            self.sites.push_capture(trace, image);
+        }
+    }
+
+    /// Asynchronous acceptance: one of this core's in-flight writebacks
+    /// enters the WPQ per memory operation (the controller makes progress
+    /// while the core does other work).
+    fn retire_one_inflight(&mut self, cfg: &MachineConfig, ctx: &mut Ctx) {
+        ctx.unfenced_clwbs = ctx.unfenced_clwbs.saturating_sub(1);
+        if let Some(pos) = self.inflight.iter().position(|(t, _)| *t == ctx.tag) {
+            let (_, e) = self.inflight.remove(pos).expect("position valid");
+            self.accept_writeback(cfg, e, None);
+        }
+    }
+
     /// Asynchronous WPQ → media drain: the memory controller retires up to
     /// `n` queued lines per core event, off the critical path.
-    fn background_drain(&mut self, n: usize) {
+    fn background_drain(&mut self, cfg: &MachineConfig, n: usize) {
         for _ in 0..n {
             match self.wpq.pop() {
-                Some(e) => self.commit_to_media(e),
+                Some(e) => self.commit_to_media(cfg, e),
                 None => break,
             }
         }
@@ -347,11 +478,19 @@ impl Inner {
             cfg.pm_read_latency
         });
         *missed = true;
-        // Fill must observe WPQ contents newer than media.
+        // Fill must observe in-flight/WPQ contents newer than media (the
+        // newest in-flight entry wins over any queued one).
         let mut evicted = Vec::new();
-        if let Some(e) = self.wpq.entries().find(|e| e.line == line).cloned() {
+        let fill = self
+            .inflight
+            .iter()
+            .rev()
+            .find(|(_, e)| e.line == line)
+            .map(|(_, e)| e.data)
+            .or_else(|| self.wpq.entries().find(|e| e.line == line).map(|e| e.data));
+        if let Some(data) = fill {
             self.cache.touch(line, &self.media, &mut evicted);
-            self.cache.write_resident(line, 0, &e.data, false);
+            self.cache.write_resident(line, 0, &data, false);
             // The cache copy now matches the queued writeback; mark clean so
             // we do not persist it twice.
             let _ = self.cache.clean(line);
@@ -360,6 +499,7 @@ impl Inner {
         }
         for ev in evicted {
             self.stats.evictions += 1;
+            self.site_event(cfg, SiteKind::CapacityEvict, ev.line.start());
             self.queue_writeback(cfg, ev, None);
         }
     }
@@ -371,39 +511,59 @@ impl Inner {
         x ^= x << 25;
         x ^= x >> 27;
         self.evict_roll = x;
-        if x.wrapping_mul(0x2545_F491_4F6C_DD1D).is_multiple_of(cfg.evict_denom as u64) {
+        if x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .is_multiple_of(cfg.evict_denom as u64)
+        {
             if let Some(ev) = self.cache.evict_random_dirty() {
                 self.stats.evictions += 1;
+                self.site_event(cfg, SiteKind::BackgroundEvict, ev.line.start());
                 self.queue_writeback(cfg, ev, None);
             }
         }
     }
 
-    /// Pushes a writeback into the WPQ, draining the oldest entry first when
-    /// full. `ctx` is `Some` only on synchronous paths (clwb backpressure).
+    /// Pushes an *evicted* line into the WPQ. `ctx` is `Some` only on
+    /// synchronous paths (fence backpressure).
     fn queue_writeback(&mut self, cfg: &MachineConfig, ev: Evicted, ctx: Option<&mut Ctx>) {
         debug_assert!(ev.dirty);
+        // The evicted data is newer than any in-flight writeback of the
+        // same line (the line was re-dirtied after its clwb): drop stale
+        // in-flight entries so their later retirement cannot roll this
+        // write back.
+        self.inflight.retain(|(_, e)| e.line != ev.line);
+        self.accept_writeback(
+            cfg,
+            WpqEntry {
+                line: ev.line,
+                data: ev.data,
+                pending: ev.pending,
+            },
+            ctx,
+        );
+    }
+
+    /// WPQ acceptance — the moment a writeback becomes ADR-durable —
+    /// draining the oldest entry first when the queue is full.
+    fn accept_writeback(&mut self, cfg: &MachineConfig, entry: WpqEntry, ctx: Option<&mut Ctx>) {
         if self.wpq.is_full() {
             if let Some(old) = self.wpq.pop() {
                 if let Some(c) = ctx {
                     c.charge(cfg.pm_write_cost);
                 }
-                self.commit_to_media(old);
+                self.commit_to_media(cfg, old);
             }
         }
-        if ev.pending {
+        if entry.pending {
             self.stats.pending_lines_queued += 1;
         }
-        self.wpq.push(WpqEntry {
-            line: ev.line,
-            data: ev.data,
-            pending: ev.pending,
-        });
+        let line = entry.line;
+        self.wpq.push(entry);
+        self.site_event(cfg, SiteKind::WpqAccept, line.start());
     }
 
     /// Final durability: write the line to media, notifying the observer of
     /// pending lines (reached-bitmap update).
-    fn commit_to_media(&mut self, e: WpqEntry) {
+    fn commit_to_media(&mut self, cfg: &MachineConfig, e: WpqEntry) {
         self.media.write_line(e.line, &e.data);
         self.stats.media_line_writes += 1;
         if e.pending {
@@ -412,6 +572,7 @@ impl Inner {
                 obs.pending_line_persisted(&mut self.media, e.line);
             }
         }
+        self.site_event(cfg, SiteKind::WpqDrain, e.line.start());
     }
 }
 
@@ -457,14 +618,75 @@ mod tests {
     }
 
     #[test]
-    fn clwb_without_sfence_is_adr_durable() {
-        // Once in the WPQ, ADR guarantees durability even without sfence.
+    fn clwb_without_sfence_is_not_yet_durable() {
+        // This test previously asserted the opposite (clwb straight into
+        // the WPQ, i.e. immediately ADR-durable). That made sfence
+        // crash-semantically a no-op and erased the persist-ordering
+        // window the §3.3 schemes differ on: a clwb only *starts* a
+        // writeback, and the line is outside the persistence domain until
+        // the issuing core fences (or asynchronous retirement gets to it).
         let e = engine();
         let mut ctx = Ctx::new(e.config());
         e.write(&mut ctx, 0, &[0xBB; 8]);
         e.clwb(&mut ctx, 0);
         let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn unfenced_clwb_retires_asynchronously() {
+        let e = engine();
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xBB; 8]);
+        e.clwb(&mut ctx, 0);
+        // A later memory operation retires the writeback into the WPQ,
+        // making it durable without any fence (FFCCD's lazy persistence).
+        e.read_u64(&mut ctx, 4096);
+        let img = e.crash_image();
         assert_eq!(img.media().read_vec(0, 8), vec![0xBB; 8]);
+    }
+
+    #[test]
+    fn sfence_only_drains_own_core() {
+        let cfg = MachineConfig {
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 20);
+        let mut a = Ctx::new(e.config());
+        let mut b = Ctx::new(e.config());
+        e.write(&mut a, 0, &[0xAA; 8]);
+        e.clwb(&mut a, 0);
+        // Core B fences; core A's in-flight writeback must stay volatile.
+        e.sfence(&mut b);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0u8; 8]);
+        e.sfence(&mut a);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0xAA; 8]);
+    }
+
+    #[test]
+    fn eviction_supersedes_stale_inflight_writeback() {
+        // Core A clwbs old data; core B re-dirties the line and a capacity
+        // eviction writes the newer data back. A's stale in-flight entry
+        // must not resurface (at A's fence) on top of the newer write.
+        let cfg = MachineConfig {
+            cache_capacity_lines: 1, // every new line deterministically evicts
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 20);
+        let mut a = Ctx::new(e.config());
+        let mut b = Ctx::new(e.config());
+        e.write(&mut a, 0, &[1u8; 8]);
+        e.clwb(&mut a, 0); // old data in flight, tagged A
+        e.write(&mut b, 0, &[2u8; 8]); // re-dirty (B's retirement skips A's entry)
+        e.write(&mut b, 64, &[0; 8]); // evicts line 0, superseding A's entry
+        e.sfence(&mut a);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![2u8; 8]);
+        assert_eq!(e.peek_vec(0, 8), vec![2u8; 8]);
     }
 
     #[test]
@@ -594,6 +816,102 @@ mod tests {
 }
 
 #[cfg(test)]
+mod site_tests {
+    use super::*;
+    use crate::sites::SiteKind;
+
+    fn quiet_cfg() -> MachineConfig {
+        MachineConfig {
+            evict_denom: u32::MAX, // no background eviction noise
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A fixed little program: returns the engine after running it.
+    fn program(e: &PmEngine) {
+        let mut ctx = Ctx::new(e.config());
+        for i in 0..8u64 {
+            e.write(&mut ctx, i * 64, &[i as u8 + 1; 8]);
+        }
+        for i in 0..8u64 {
+            e.clwb(&mut ctx, i * 64);
+        }
+        e.sfence(&mut ctx);
+        e.write(&mut ctx, 4096, &[9; 8]);
+        e.note_phase_site(2);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let cfg = quiet_cfg();
+        let run = || {
+            let e = PmEngine::new(cfg.clone(), 1 << 20);
+            e.site_tracking_enumerate();
+            program(&e);
+            e.site_tracking_stop()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same program, same seed → same site sequence");
+        assert_eq!(a.count(SiteKind::Store), 9);
+        assert_eq!(a.count(SiteKind::Clwb), 8);
+        assert_eq!(a.count(SiteKind::Sfence), 1);
+        assert_eq!(a.count(SiteKind::Phase), 1);
+        assert!(a.count(SiteKind::WpqAccept) >= 8);
+        assert!(a.total >= 27);
+    }
+
+    #[test]
+    fn capture_ids_match_enumeration_and_do_not_perturb() {
+        let cfg = quiet_cfg();
+        let e = PmEngine::new(cfg.clone(), 1 << 20);
+        e.site_tracking_enumerate();
+        program(&e);
+        let reference = e.site_tracking_stop();
+
+        let e2 = PmEngine::new(cfg, 1 << 20);
+        let targets: BTreeSet<u64> = [0u64, 3, 11, reference.total - 1].into_iter().collect();
+        e2.site_tracking_capture(targets.clone());
+        program(&e2);
+        let replay = e2.site_tracking_stop();
+        assert_eq!(replay, reference, "capturing must not perturb the run");
+        let caps = e2.drain_site_captures();
+        assert_eq!(
+            caps.iter().map(|c| c.site.id).collect::<BTreeSet<_>>(),
+            targets
+        );
+    }
+
+    #[test]
+    fn captured_images_bracket_the_persist_window() {
+        // write → clwb → sfence: the image captured at the clwb site must
+        // not contain the line; the one at the WPQ accept must.
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        // Site IDs: 0 = store, 1 = clwb, 2 = wpq-accept (inside sfence),
+        // 3 = sfence.
+        e.site_tracking_capture([1u64, 2].into_iter().collect());
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xDD; 8]);
+        e.clwb(&mut ctx, 0);
+        e.sfence(&mut ctx);
+        let caps = e.drain_site_captures();
+        e.site_tracking_stop();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].site.kind, SiteKind::Clwb);
+        assert_eq!(
+            caps[0].image.media().read_vec(0, 8),
+            vec![0u8; 8],
+            "in-flight at the clwb site: not yet durable"
+        );
+        assert_eq!(caps[1].site.kind, SiteKind::WpqAccept);
+        assert_eq!(
+            caps[1].image.media().read_vec(0, 8),
+            vec![0xDD; 8],
+            "accepted by the WPQ: ADR-durable"
+        );
+    }
+}
+
+#[cfg(test)]
 mod eadr_tests {
     use super::*;
 
@@ -627,8 +945,8 @@ mod eadr_tests {
 
     #[test]
     fn eadr_pending_lines_count_as_reached() {
-        use std::sync::Arc;
         use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
         struct Counter(AtomicU64);
         impl crate::observer::PersistObserver for Counter {
             fn pending_line_persisted(&self, _m: &mut Media, _l: Line) {}

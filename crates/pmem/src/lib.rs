@@ -45,6 +45,7 @@ mod ctx;
 mod engine;
 mod media;
 mod observer;
+mod sites;
 mod stats;
 mod timing;
 mod tlb;
@@ -57,6 +58,7 @@ pub use ctx::Ctx;
 pub use engine::PmEngine;
 pub use media::Media;
 pub use observer::{NullObserver, PersistObserver};
+pub use sites::{SiteCapture, SiteKind, SiteSummary, SiteTrace};
 pub use stats::{EngineStats, ThreadStats};
 pub use timing::MachineConfig;
 pub use tlb::Tlb;

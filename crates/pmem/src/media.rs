@@ -19,7 +19,9 @@ pub struct Media {
 
 impl std::fmt::Debug for Media {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Media").field("len", &self.bytes.len()).finish()
+        f.debug_struct("Media")
+            .field("len", &self.bytes.len())
+            .finish()
     }
 }
 

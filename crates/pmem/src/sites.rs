@@ -1,0 +1,244 @@
+//! Crash-site enumeration: deterministic IDs for durability-relevant events.
+//!
+//! Fault injection at op boundaries only exercises the states a workload
+//! happens to leave between operations. The interesting crash states —
+//! the ones the schemes of §3.3 actually differ on — are *inside* the
+//! persist windows: after a store but before its `clwb`, after a `clwb`
+//! but before its writeback reaches the WPQ, between a WPQ accept and the
+//! media drain, and across GC phase transitions.
+//!
+//! The site tracker assigns every such event a sequentially increasing
+//! **site ID**. Because the whole machine is a deterministic simulation
+//! (seeded cache/eviction RNG, deterministic drain schedule), a run with
+//! the same configuration and call sequence produces the same ID sequence
+//! every time. That enables the two-pass sweep in the workloads crate:
+//!
+//! 1. a *reference run* enumerates all sites ([`PmEngine::site_tracking_enumerate`]),
+//! 2. *replay runs* re-execute the identical workload with capture armed
+//!    for chosen IDs ([`PmEngine::site_tracking_capture`]); right after
+//!    each targeted event fires, a [`CrashImage`] is snapshotted inside
+//!    the engine lock, so the image reflects exactly the machine state at
+//!    that event.
+//!
+//! A failing site is replayable forever from the `(seed, site_id)` pair.
+
+use std::collections::BTreeSet;
+
+use crate::crash::CrashImage;
+
+/// The kind of durability-relevant event a crash site marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKind {
+    /// A store retired into the (volatile) cache.
+    Store,
+    /// A store issued by `relocate` — plants the FFCCD pending bit.
+    PendingStore,
+    /// A `clwb` moved a dirty line into the in-flight writeback stage.
+    Clwb,
+    /// An `sfence` pushed this thread's in-flight writebacks into the WPQ.
+    Sfence,
+    /// A writeback was accepted by the WPQ (entered the ADR persistence
+    /// domain).
+    WpqAccept,
+    /// A WPQ entry drained to media (final durability; reached-bitmap
+    /// update for pending lines).
+    WpqDrain,
+    /// A dirty line left the cache under capacity pressure.
+    CapacityEvict,
+    /// A dirty line left the cache via seeded background eviction.
+    BackgroundEvict,
+    /// A GC phase transition reported by the heap layer (the `detail`
+    /// field carries the phase code).
+    Phase,
+}
+
+impl SiteKind {
+    /// Every kind, in `detail`-independent declaration order.
+    pub const ALL: [SiteKind; 9] = [
+        SiteKind::Store,
+        SiteKind::PendingStore,
+        SiteKind::Clwb,
+        SiteKind::Sfence,
+        SiteKind::WpqAccept,
+        SiteKind::WpqDrain,
+        SiteKind::CapacityEvict,
+        SiteKind::BackgroundEvict,
+        SiteKind::Phase,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteKind::Store => "store",
+            SiteKind::PendingStore => "pending-store",
+            SiteKind::Clwb => "clwb",
+            SiteKind::Sfence => "sfence",
+            SiteKind::WpqAccept => "wpq-accept",
+            SiteKind::WpqDrain => "wpq-drain",
+            SiteKind::CapacityEvict => "capacity-evict",
+            SiteKind::BackgroundEvict => "background-evict",
+            SiteKind::Phase => "phase",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Identity of one fired crash site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteTrace {
+    /// Sequential, deterministic site ID (0-based within one tracking
+    /// window).
+    pub id: u64,
+    /// What happened.
+    pub kind: SiteKind,
+    /// Event-specific detail: the affected line's start offset for memory
+    /// events, the phase code for [`SiteKind::Phase`].
+    pub detail: u64,
+}
+
+/// A crash image captured at a targeted site.
+#[derive(Clone, Debug)]
+pub struct SiteCapture {
+    /// Which site fired.
+    pub site: SiteTrace,
+    /// Machine state (post-ADR-flush media) at that instant.
+    pub image: CrashImage,
+}
+
+/// Totals from one tracking window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteSummary {
+    /// Total sites fired (the next run's IDs are `0..total`).
+    pub total: u64,
+    /// Per-kind event counts, indexable via [`SiteSummary::count`].
+    pub counts: [u64; SiteKind::ALL.len()],
+}
+
+impl SiteSummary {
+    /// Events of `kind` in this window.
+    pub fn count(&self, kind: SiteKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// `(kind, count)` pairs for non-zero kinds.
+    pub fn nonzero(&self) -> Vec<(SiteKind, u64)> {
+        SiteKind::ALL
+            .iter()
+            .filter(|k| self.count(**k) > 0)
+            .map(|k| (*k, self.count(*k)))
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Mode {
+    #[default]
+    Off,
+    Enumerate,
+    Capture,
+}
+
+/// Engine-internal tracker; lives inside the engine lock so events and
+/// captures are atomic with respect to other threads.
+#[derive(Debug, Default)]
+pub(crate) struct SiteTracker {
+    mode: Mode,
+    next_id: u64,
+    counts: [u64; SiteKind::ALL.len()],
+    targets: BTreeSet<u64>,
+    captures: Vec<SiteCapture>,
+}
+
+impl SiteTracker {
+    pub(crate) fn start_enumerate(&mut self) {
+        *self = SiteTracker {
+            mode: Mode::Enumerate,
+            ..SiteTracker::default()
+        };
+    }
+
+    pub(crate) fn start_capture(&mut self, targets: BTreeSet<u64>) {
+        *self = SiteTracker {
+            mode: Mode::Capture,
+            targets,
+            ..SiteTracker::default()
+        };
+    }
+
+    pub(crate) fn stop(&mut self) -> SiteSummary {
+        let summary = SiteSummary {
+            total: self.next_id,
+            counts: self.counts,
+        };
+        self.mode = Mode::Off;
+        self.targets.clear();
+        summary
+    }
+
+    pub(crate) fn active(&self) -> bool {
+        self.mode != Mode::Off
+    }
+
+    /// Registers an event; returns the trace when a capture is wanted.
+    pub(crate) fn note(&mut self, kind: SiteKind, detail: u64) -> Option<SiteTrace> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.counts[kind.index()] += 1;
+        (self.mode == Mode::Capture && self.targets.contains(&id)).then_some(SiteTrace {
+            id,
+            kind,
+            detail,
+        })
+    }
+
+    pub(crate) fn push_capture(&mut self, site: SiteTrace, image: CrashImage) {
+        self.captures.push(SiteCapture { site, image });
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<SiteCapture> {
+        std::mem::take(&mut self.captures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_counted() {
+        let mut t = SiteTracker::default();
+        t.start_enumerate();
+        assert!(t.note(SiteKind::Store, 0).is_none());
+        assert!(t.note(SiteKind::Clwb, 64).is_none());
+        assert!(t.note(SiteKind::Store, 128).is_none());
+        let s = t.stop();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.count(SiteKind::Store), 2);
+        assert_eq!(s.count(SiteKind::Clwb), 1);
+        assert_eq!(s.nonzero().len(), 2);
+    }
+
+    #[test]
+    fn capture_fires_only_on_targets() {
+        let mut t = SiteTracker::default();
+        t.start_capture([1u64].into_iter().collect());
+        assert!(t.note(SiteKind::Store, 0).is_none());
+        let trace = t.note(SiteKind::Sfence, 0).expect("site 1 targeted");
+        assert_eq!(trace.id, 1);
+        assert_eq!(trace.kind, SiteKind::Sfence);
+        assert!(t.note(SiteKind::Store, 0).is_none());
+        assert_eq!(t.stop().total, 3);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut t = SiteTracker::default();
+        assert!(!t.active());
+        // The engine guards on `active()`; a stray note would still be
+        // harmless but must not capture.
+        assert!(t.note(SiteKind::Store, 0).is_none());
+    }
+}

@@ -114,7 +114,10 @@ mod tests {
         let mut st = ThreadStats::default();
         let miss_cost = tlb.access(0, &mut st);
         assert_eq!(st.tlb_misses, 1);
-        assert_eq!(miss_cost, cfg.tlb_l1_latency + cfg.tlb_l2_latency + cfg.tlb_miss_penalty);
+        assert_eq!(
+            miss_cost,
+            cfg.tlb_l1_latency + cfg.tlb_l2_latency + cfg.tlb_miss_penalty
+        );
         let hit_cost = tlb.access(8, &mut st); // same page
         assert_eq!(st.tlb_l1_hits, 1);
         assert_eq!(hit_cost, cfg.tlb_l1_latency);

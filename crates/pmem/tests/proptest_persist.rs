@@ -67,7 +67,7 @@ proptest! {
                     // Persist is line-granular: everything dirty on the
                     // touched lines becomes durable.
                     let lo = off / 64 * 64;
-                    let hi = (end + 63) / 64 * 64;
+                    let hi = end.div_ceil(64) * 64;
                     for i in lo..hi.min(16 << 10) {
                         if let Some(b) = dirty[i as usize] {
                             persisted[i as usize] = Some(b);
@@ -139,10 +139,10 @@ proptest! {
             possible[off as usize].insert(b);
         }
         let img = engine.crash_image();
-        for off in 0..1024usize {
+        for (off, poss) in possible.iter().enumerate() {
             let got = img.media().read_vec(off as u64, 1)[0];
             prop_assert!(
-                possible[off].contains(&got),
+                poss.contains(&got),
                 "byte {} has value {} never written there",
                 off,
                 got

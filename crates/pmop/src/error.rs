@@ -45,7 +45,10 @@ impl fmt::Display for PoolError {
             }
             PoolError::BadPool { reason } => write!(f, "not a valid pool: {reason}"),
             PoolError::AllocationTooLarge { requested, max } => {
-                write!(f, "allocation of {requested} bytes exceeds maximum of {max}")
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds maximum of {max}"
+                )
             }
         }
     }
@@ -62,7 +65,10 @@ mod tests {
         let e = PoolError::OutOfMemory { requested: 64 };
         let s = e.to_string();
         assert!(s.starts_with("pool out of memory"));
-        let e = PoolError::InvalidPointer { raw: 0x10, reason: "stale" };
+        let e = PoolError::InvalidPointer {
+            raw: 0x10,
+            reason: "stale",
+        };
         assert!(e.to_string().contains("stale"));
     }
 

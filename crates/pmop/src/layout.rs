@@ -124,7 +124,8 @@ fn align_up(v: u64, a: u64) -> u64 {
 
 // -- header field offsets (within frame 0) -----------------------------------
 
-/// Pool header magic value.
+/// Pool header magic value (the groups spell FFCCD / ISCA / 2022).
+#[allow(clippy::unusual_byte_groupings)]
 pub const POOL_MAGIC: u64 = 0xFFCC_D_15C_A220_22;
 /// Offset of the magic word.
 pub const HDR_MAGIC: u64 = 0;

@@ -78,8 +78,8 @@ struct OsPage {
 /// class; a hole freed in one class cannot serve another class — the main
 /// source of long-lived fragmentation under variable-size values.
 const CLASS_SLOTS: [u16; 26] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 17, 20, 24, 29, 35, 42, 50, 60, 72, 86, 103, 124, 149,
-    179, 215,
+    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 17, 20, 24, 29, 35, 42, 50, 60, 72, 86, 103, 124, 149, 179,
+    215,
 ];
 
 fn class_of(slots: usize) -> u8 {
@@ -191,7 +191,9 @@ impl PmPool {
             )
         });
         if magic != POOL_MAGIC {
-            return Err(PoolError::BadPool { reason: "bad magic" });
+            return Err(PoolError::BadPool {
+                reason: "bad magic",
+            });
         }
         let layout = PoolLayout::compute(num_frames * FRAME_BYTES, os_page);
         if layout.total_bytes != engine.len() {
@@ -285,8 +287,7 @@ impl PmPool {
                 }
                 if total > FRAME_BYTES {
                     st.kind = FrameKind::Huge;
-                    spill_frames =
-                        total.div_ceil(FRAME_BYTES) as usize - 1;
+                    spill_frames = total.div_ceil(FRAME_BYTES) as usize - 1;
                 }
             }
             st.live_bytes = live;
@@ -409,7 +410,12 @@ impl PmPool {
     /// [`PoolError::OutOfMemory`] when no frame can satisfy the request;
     /// [`PoolError::AllocationTooLarge`] when a huge allocation exceeds the
     /// whole heap.
-    pub fn pmalloc(&self, ctx: &mut Ctx, type_id: TypeId, payload: u64) -> Result<PmPtr, PoolError> {
+    pub fn pmalloc(
+        &self,
+        ctx: &mut Ctx,
+        type_id: TypeId,
+        payload: u64,
+    ) -> Result<PmPtr, PoolError> {
         if payload > MAX_SMALL_PAYLOAD {
             return self.pmalloc_huge(ctx, type_id, payload);
         }
@@ -453,7 +459,11 @@ impl PmPool {
             }
         }
         if let Some((i, slot)) = found {
-            let f = inner.partial.get_mut(&cls).expect("list exists").swap_remove(i);
+            let f = inner
+                .partial
+                .get_mut(&cls)
+                .expect("list exists")
+                .swap_remove(i);
             inner.active.insert(cls, f);
             return Ok((f, slot));
         }
@@ -583,10 +593,7 @@ impl PmPool {
             let rec = self.inner.lock().frames[f as usize].to_record();
             self.write_bitmap_record(ctx, f, &rec);
         }
-        Ok(PmPtr::new(
-            self.pool_id,
-            hdr_off + OBJ_HEADER_BYTES,
-        ))
+        Ok(PmPtr::new(self.pool_id, hdr_off + OBJ_HEADER_BYTES))
     }
 
     /// Frees the object at `ptr`.
@@ -687,19 +694,17 @@ impl PmPool {
                 reason: "null",
             });
         }
-        let hdr = ptr.offset().checked_sub(OBJ_HEADER_BYTES).ok_or(
-            PoolError::InvalidPointer {
-                raw: ptr.raw(),
-                reason: "offset before heap",
-            },
-        )?;
-        let frame = self
-            .layout
-            .frame_of(hdr)
+        let hdr = ptr
+            .offset()
+            .checked_sub(OBJ_HEADER_BYTES)
             .ok_or(PoolError::InvalidPointer {
                 raw: ptr.raw(),
-                reason: "outside data region",
+                reason: "offset before heap",
             })?;
+        let frame = self.layout.frame_of(hdr).ok_or(PoolError::InvalidPointer {
+            raw: ptr.raw(),
+            reason: "outside data region",
+        })?;
         let slot = ((hdr - self.layout.frame_start(frame)) / SLOT_BYTES) as usize;
         Ok((frame as u32, slot))
     }
@@ -708,9 +713,7 @@ impl PmPool {
 
     /// Reads the object header (simulated): (type, payload size).
     pub fn object_header(&self, ctx: &mut Ctx, ptr: PmPtr) -> (TypeId, u32) {
-        let word = self
-            .engine
-            .read_u64(ctx, ptr.offset() - OBJ_HEADER_BYTES);
+        let word = self.engine.read_u64(ctx, ptr.offset() - OBJ_HEADER_BYTES);
         (TypeId((word >> 32) as u32), (word & 0xFFFF_FFFF) as u32)
     }
 
@@ -768,7 +771,8 @@ impl PmPool {
         // One simulated read of the 64-byte record models the GC touching
         // the bitmap; enumeration itself uses the volatile mirror.
         let mut rec = [0u8; 64];
-        self.engine.read(ctx, self.layout.bitmap_record(frame), &mut rec);
+        self.engine
+            .read(ctx, self.layout.bitmap_record(frame), &mut rec);
         self.collect_frame_objects(frame)
     }
 

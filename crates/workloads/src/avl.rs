@@ -13,8 +13,17 @@
 //!
 //! Deletion uses successor *splicing* (pointer surgery), never copying
 //! values between nodes — values are variable-sized.
+//!
+//! Updates are crash-atomic via path copying: no node reachable from the
+//! persistent root is ever mutated. Every node on the search path (plus
+//! rotation participants) is cloned, the clones are linked up and persisted
+//! while still unreachable, and the operation commits with a single 8-byte
+//! persisted root store. A crash before the commit leaves the old tree
+//! intact; after it, the new one. Replaced originals are freed only after
+//! the commit (a crash in between leaks unreachable nodes, which is
+//! harmless).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use ffccd::DefragHeap;
 use ffccd_pmem::Ctx;
@@ -44,9 +53,59 @@ impl AvlTree {
 
 struct Ops<'a> {
     heap: &'a DefragHeap,
+    /// Nodes allocated by this operation — unreachable from the persistent
+    /// root until the commit, hence safe to mutate in place.
+    fresh: HashSet<u64>,
+    /// Originals superseded by clones, freed after the root commit.
+    replaced: Vec<PmPtr>,
 }
 
 impl<'a> Ops<'a> {
+    fn new(heap: &'a DefragHeap) -> Self {
+        Ops {
+            heap,
+            fresh: HashSet::new(),
+            replaced: Vec::new(),
+        }
+    }
+
+    /// Returns a node safe to mutate: `n` itself when this operation
+    /// allocated it, otherwise a fully persisted clone (the original is
+    /// queued for freeing after the commit).
+    fn shadow(&mut self, ctx: &mut Ctx, n: PmPtr) -> PmPtr {
+        if self.fresh.contains(&n.offset()) {
+            return n;
+        }
+        let (ty, size) = self.heap.object_header(ctx, n);
+        let c = self
+            .heap
+            .alloc(ctx, ty, size as u64)
+            .expect("avl shadow node");
+        let l = self.heap.load_ref(ctx, n, LEFT);
+        let r = self.heap.load_ref(ctx, n, RIGHT);
+        self.heap.store_ref(ctx, c, LEFT, l);
+        self.heap.store_ref(ctx, c, RIGHT, r);
+        let key = self.heap.read_u64(ctx, n, KEY);
+        let h = self.heap.read_u64(ctx, n, HEIGHT);
+        self.heap.write_u64(ctx, c, KEY, key);
+        self.heap.write_u64(ctx, c, HEIGHT, h);
+        let mut val = vec![0u8; size as usize - VAL as usize];
+        self.heap.read_bytes(ctx, n, VAL, &mut val);
+        self.heap.write_bytes(ctx, c, VAL, &val);
+        self.heap.persist(ctx, c, 0, size as u64);
+        self.fresh.insert(c.offset());
+        self.replaced.push(n);
+        c
+    }
+
+    /// Frees the originals superseded during this operation. Call only
+    /// after the root commit.
+    fn reclaim(&mut self, ctx: &mut Ctx) {
+        for p in self.replaced.drain(..) {
+            self.heap.free(ctx, p).expect("free superseded avl node");
+        }
+    }
+
     fn height(&self, ctx: &mut Ctx, n: PmPtr) -> u64 {
         if n.is_null() {
             0
@@ -69,8 +128,10 @@ impl<'a> Ops<'a> {
         self.height(ctx, l) as i64 - self.height(ctx, r) as i64
     }
 
-    fn rotate_right(&self, ctx: &mut Ctx, y: PmPtr) -> PmPtr {
+    /// `y` must be fresh; the pivot is shadowed before it is mutated.
+    fn rotate_right(&mut self, ctx: &mut Ctx, y: PmPtr) -> PmPtr {
         let x = self.heap.load_ref(ctx, y, LEFT);
+        let x = self.shadow(ctx, x);
         let t2 = self.heap.load_ref(ctx, x, RIGHT);
         self.heap.store_ref(ctx, y, LEFT, t2);
         self.heap.store_ref(ctx, x, RIGHT, y);
@@ -79,8 +140,10 @@ impl<'a> Ops<'a> {
         x
     }
 
-    fn rotate_left(&self, ctx: &mut Ctx, x: PmPtr) -> PmPtr {
+    /// `x` must be fresh; the pivot is shadowed before it is mutated.
+    fn rotate_left(&mut self, ctx: &mut Ctx, x: PmPtr) -> PmPtr {
         let y = self.heap.load_ref(ctx, x, RIGHT);
+        let y = self.shadow(ctx, y);
         let t2 = self.heap.load_ref(ctx, y, LEFT);
         self.heap.store_ref(ctx, x, RIGHT, t2);
         self.heap.store_ref(ctx, y, LEFT, x);
@@ -89,12 +152,14 @@ impl<'a> Ops<'a> {
         y
     }
 
-    fn rebalance(&self, ctx: &mut Ctx, n: PmPtr) -> PmPtr {
+    /// `n` must be fresh.
+    fn rebalance(&mut self, ctx: &mut Ctx, n: PmPtr) -> PmPtr {
         self.update_height(ctx, n);
         let b = self.balance(ctx, n);
         if b > 1 {
             let l = self.heap.load_ref(ctx, n, LEFT);
             if self.balance(ctx, l) < 0 {
+                let l = self.shadow(ctx, l);
                 let nl = self.rotate_left(ctx, l);
                 self.heap.store_ref(ctx, n, LEFT, nl);
             }
@@ -103,6 +168,7 @@ impl<'a> Ops<'a> {
         if b < -1 {
             let r = self.heap.load_ref(ctx, n, RIGHT);
             if self.balance(ctx, r) > 0 {
+                let r = self.shadow(ctx, r);
                 let nr = self.rotate_right(ctx, r);
                 self.heap.store_ref(ctx, n, RIGHT, nr);
             }
@@ -111,37 +177,42 @@ impl<'a> Ops<'a> {
         n
     }
 
-    fn insert(&self, ctx: &mut Ctx, n: PmPtr, key: u64, node: PmPtr) -> PmPtr {
+    fn insert(&mut self, ctx: &mut Ctx, n: PmPtr, key: u64, node: PmPtr) -> PmPtr {
         if n.is_null() {
             return node;
         }
-        let nk = self.heap.read_u64(ctx, n, KEY);
+        let c = self.shadow(ctx, n);
+        let nk = self.heap.read_u64(ctx, c, KEY);
         if key < nk {
-            let l = self.heap.load_ref(ctx, n, LEFT);
+            let l = self.heap.load_ref(ctx, c, LEFT);
             let nl = self.insert(ctx, l, key, node);
-            self.heap.store_ref(ctx, n, LEFT, nl);
+            self.heap.store_ref(ctx, c, LEFT, nl);
         } else {
-            let r = self.heap.load_ref(ctx, n, RIGHT);
+            let r = self.heap.load_ref(ctx, c, RIGHT);
             let nr = self.insert(ctx, r, key, node);
-            self.heap.store_ref(ctx, n, RIGHT, nr);
+            self.heap.store_ref(ctx, c, RIGHT, nr);
         }
-        self.rebalance(ctx, n)
+        self.rebalance(ctx, c)
     }
 
     /// Removes the minimum node of the subtree; returns (new root, min).
-    fn take_min(&self, ctx: &mut Ctx, n: PmPtr) -> (PmPtr, PmPtr) {
+    /// The min itself is *not* shadowed — the caller splices a clone of it.
+    fn take_min(&mut self, ctx: &mut Ctx, n: PmPtr) -> (PmPtr, PmPtr) {
         let l = self.heap.load_ref(ctx, n, LEFT);
         if l.is_null() {
             let r = self.heap.load_ref(ctx, n, RIGHT);
             return (r, n);
         }
+        let c = self.shadow(ctx, n);
+        let l = self.heap.load_ref(ctx, c, LEFT);
         let (nl, min) = self.take_min(ctx, l);
-        self.heap.store_ref(ctx, n, LEFT, nl);
-        (self.rebalance(ctx, n), min)
+        self.heap.store_ref(ctx, c, LEFT, nl);
+        (self.rebalance(ctx, c), min)
     }
 
-    /// Deletes `key`; returns (new root, Some(removed node)).
-    fn delete(&self, ctx: &mut Ctx, n: PmPtr, key: u64) -> (PmPtr, Option<PmPtr>) {
+    /// Deletes `key`; returns (new root, Some(removed node)). A miss clones
+    /// nothing and leaves the tree untouched.
+    fn delete(&mut self, ctx: &mut Ctx, n: PmPtr, key: u64) -> (PmPtr, Option<PmPtr>) {
         if n.is_null() {
             return (n, None);
         }
@@ -149,16 +220,24 @@ impl<'a> Ops<'a> {
         if key < nk {
             let l = self.heap.load_ref(ctx, n, LEFT);
             let (nl, rm) = self.delete(ctx, l, key);
-            self.heap.store_ref(ctx, n, LEFT, nl);
-            return (self.rebalance(ctx, n), rm);
+            if rm.is_none() {
+                return (n, None);
+            }
+            let c = self.shadow(ctx, n);
+            self.heap.store_ref(ctx, c, LEFT, nl);
+            return (self.rebalance(ctx, c), rm);
         }
         if key > nk {
             let r = self.heap.load_ref(ctx, n, RIGHT);
             let (nr, rm) = self.delete(ctx, r, key);
-            self.heap.store_ref(ctx, n, RIGHT, nr);
-            return (self.rebalance(ctx, n), rm);
+            if rm.is_none() {
+                return (n, None);
+            }
+            let c = self.shadow(ctx, n);
+            self.heap.store_ref(ctx, c, RIGHT, nr);
+            return (self.rebalance(ctx, c), rm);
         }
-        // Found. Splice.
+        // Found. Splice a clone of the successor into the deleted position.
         let l = self.heap.load_ref(ctx, n, LEFT);
         let r = self.heap.load_ref(ctx, n, RIGHT);
         if l.is_null() {
@@ -168,9 +247,10 @@ impl<'a> Ops<'a> {
             return (l, Some(n));
         }
         let (nr, succ) = self.take_min(ctx, r);
-        self.heap.store_ref(ctx, succ, LEFT, l);
-        self.heap.store_ref(ctx, succ, RIGHT, nr);
-        (self.rebalance(ctx, succ), Some(n))
+        let s = self.shadow(ctx, succ);
+        self.heap.store_ref(ctx, s, LEFT, l);
+        self.heap.store_ref(ctx, s, RIGHT, nr);
+        (self.rebalance(ctx, s), Some(n))
     }
 }
 
@@ -201,19 +281,25 @@ impl Workload for AvlTree {
         value_pattern(key, &mut val);
         heap.write_bytes(ctx, node, VAL, &val);
         heap.persist(ctx, node, 0, VAL + value_size as u64);
-        let ops = Ops { heap };
+        let mut ops = Ops::new(heap);
+        ops.fresh.insert(node.offset());
         let root = heap.root(ctx);
         let new_root = ops.insert(ctx, root, key, node);
+        // Commit point: everything above went to unreachable clones.
         heap.set_root(ctx, new_root);
+        ops.reclaim(ctx);
     }
 
     fn delete(&mut self, heap: &DefragHeap, ctx: &mut Ctx, key: u64) -> bool {
-        let ops = Ops { heap };
+        let mut ops = Ops::new(heap);
         let root = heap.root(ctx);
         let (new_root, removed) = ops.delete(ctx, root, key);
-        heap.set_root(ctx, new_root);
         match removed {
             Some(n) => {
+                // Commit point: the clone path becomes reachable, the
+                // deleted node and the superseded originals drop out.
+                heap.set_root(ctx, new_root);
+                ops.reclaim(ctx);
                 heap.free(ctx, n).expect("free avl node");
                 true
             }
@@ -322,7 +408,8 @@ mod tests {
         }
         assert!(!w.delete(&h, &mut ctx, keys[0]), "double delete");
         let expected: BTreeSet<u64> = keys.iter().skip(1).step_by(2).copied().collect();
-        w.validate(&h, &mut ctx, &expected).expect("valid after deletes");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("valid after deletes");
     }
 
     #[test]
@@ -350,8 +437,7 @@ mod tests {
             w.insert(&h, &mut ctx, k, 32);
         }
         assert!(w.delete(&h, &mut ctx, 25)); // two children
-        let expected: BTreeSet<u64> =
-            [50u64, 75, 12, 37, 62, 87, 31, 43].into_iter().collect();
+        let expected: BTreeSet<u64> = [50u64, 75, 12, 37, 62, 87, 31, 43].into_iter().collect();
         w.validate(&h, &mut ctx, &expected).expect("splice correct");
     }
 
@@ -375,7 +461,8 @@ mod tests {
             h.step_compaction(&mut ctx, 8);
         }
         h.exit(&mut ctx);
-        w.validate(&h, &mut ctx, &expected).expect("valid through GC");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("valid through GC");
         ffccd::validate_heap(&h).expect("heap consistent");
     }
 }

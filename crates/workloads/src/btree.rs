@@ -83,7 +83,8 @@ impl<'a> Ops<'a> {
         let inner = self.heap.alloc(ctx, T_INNER, INNER_SIZE).expect("inner");
         self.heap.write_u64(ctx, inner, I_NKEYS, 0);
         for i in 0..=INNER_KEYS as u64 {
-            self.heap.store_ref(ctx, inner, I_CHILD + i * 8, PmPtr::NULL);
+            self.heap
+                .store_ref(ctx, inner, I_CHILD + i * 8, PmPtr::NULL);
         }
         self.heap.persist(ctx, inner, 0, INNER_SIZE);
         inner
@@ -172,8 +173,9 @@ impl<'a> Ops<'a> {
                     return Descend::Done;
                 }
                 // Split the inner node.
-                let mut keys: Vec<u64> =
-                    (0..n).map(|i| heap.read_u64(ctx, node, I_KEYS + i as u64 * 8)).collect();
+                let mut keys: Vec<u64> = (0..n)
+                    .map(|i| heap.read_u64(ctx, node, I_KEYS + i as u64 * 8))
+                    .collect();
                 let mut kids: Vec<PmPtr> = (0..=n)
                     .map(|i| heap.load_ref(ctx, node, I_CHILD + i as u64 * 8))
                     .collect();
@@ -203,7 +205,10 @@ impl<'a> Ops<'a> {
                 }
                 heap.write_u64(ctx, node, I_NKEYS, mid as u64);
                 heap.persist(ctx, node, 0, INNER_SIZE);
-                Descend::Split { sep: up, right: rnode }
+                Descend::Split {
+                    sep: up,
+                    right: rnode,
+                }
             }
         }
     }
@@ -229,7 +234,9 @@ impl Workload for BplusTree {
 
     fn registry(&self) -> TypeRegistry {
         let mut reg = TypeRegistry::new();
-        let inner_refs: Vec<u32> = (0..=INNER_KEYS as u32).map(|i| I_CHILD as u32 + i * 8).collect();
+        let inner_refs: Vec<u32> = (0..=INNER_KEYS as u32)
+            .map(|i| I_CHILD as u32 + i * 8)
+            .collect();
         reg.register(TypeDesc::new("bt_inner", INNER_SIZE as u32, &inner_refs));
         let mut leaf_refs: Vec<u32> = vec![L_NEXT as u32];
         leaf_refs.extend((0..LEAF_KEYS as u32).map(|i| L_VALS as u32 + i * 8));
@@ -397,7 +404,8 @@ mod tests {
             expected.remove(&k);
         }
         assert!(!w.delete(&h, &mut ctx, 0), "already deleted");
-        w.validate(&h, &mut ctx, &expected).expect("consistent after lazy deletes");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("consistent after lazy deletes");
     }
 
     #[test]
@@ -422,7 +430,8 @@ mod tests {
             h.step_compaction(&mut ctx, 8);
         }
         h.exit(&mut ctx);
-        w.validate(&h, &mut ctx, &expected).expect("valid through GC");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("valid through GC");
         ffccd::validate_heap(&h).expect("heap consistent");
     }
 }

@@ -386,7 +386,8 @@ mod tests {
         for &k in &expected {
             w.insert(&h, &mut ctx, k, 40);
         }
-        w.validate(&h, &mut ctx, &expected).expect("tree consistent");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("tree consistent");
         for &k in &expected {
             assert!(w.contains(&h, &mut ctx, k));
         }
@@ -413,7 +414,8 @@ mod tests {
             w.insert(&h, &mut ctx, k, 40);
             expected.insert(k);
         }
-        w.validate(&h, &mut ctx, &expected).expect("tombstones dropped");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("tombstones dropped");
     }
 
     #[test]
@@ -455,6 +457,7 @@ mod tests {
             h.step_compaction(&mut ctx, 8);
         }
         h.exit(&mut ctx);
-        w.validate(&h, &mut ctx, &expected).expect("valid through GC");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("valid through GC");
     }
 }

@@ -82,7 +82,7 @@ impl DriverConfig {
             },
             value_size: (128, 128),
             mix: PhaseMix::paper_scaled(500),
-            seed: 0xFFCC_D,
+            seed: 0xFFCCD,
             sample_every: 64,
             gc_batch: 32,
         }
@@ -147,16 +147,17 @@ impl RunResult {
     }
 }
 
+/// Per-operation hook invoked by [`run_on`] after every operation with the
+/// op index (1-based), the heap and the live key set. Returning `false`
+/// stops the run early (the heap still winds down through `exit()`).
+pub type OpHook<'h> = Option<&'h mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>) -> bool>;
+
 /// Runs `workload` shared by `threads` application threads plus one
 /// concurrent defragmentation thread. Structure operations serialize on a
 /// workload mutex inside a [`DefragHeap::critical`] section (the paper's
 /// §4.5 critical-section discipline), while the collector relocates
 /// concurrently. Keys are partitioned per thread.
-pub fn run_mt(
-    workload: Box<dyn Workload>,
-    threads: usize,
-    cfg: &DriverConfig,
-) -> RunResult {
+pub fn run_mt(workload: Box<dyn Workload>, threads: usize, cfg: &DriverConfig) -> RunResult {
     let pool_cfg = PoolConfig {
         machine: MachineConfig {
             seed: cfg.seed,
@@ -166,16 +167,20 @@ pub fn run_mt(
     };
     let heap = DefragHeap::create(pool_cfg, workload.registry(), cfg.defrag)
         .expect("driver pool creation");
-    run_mt_on(workload, threads, cfg, &heap)
+    run_mt_on(workload, threads, cfg, &heap, None)
 }
 
 /// Like [`run_mt`] but against a caller-provided heap (fault injection
-/// snapshots the heap from outside while this runs).
+/// snapshots the heap from outside while this runs). When `op_progress`
+/// is given, it is incremented once per completed application operation —
+/// external samplers gate on it instead of wall-clock time, so capture
+/// spacing tracks simulated work even when host scheduling stalls a run.
 pub fn run_mt_on(
     workload: Box<dyn Workload>,
     threads: usize,
     cfg: &DriverConfig,
     heap: &DefragHeap,
+    op_progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 ) -> RunResult {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
@@ -207,6 +212,7 @@ pub fn run_mt_on(
         let sample_every = cfg.sample_every.max(1);
         let gc_batch = cfg.gc_batch;
         let turn = turn.clone();
+        let op_progress = op_progress.clone();
         handles.push(std::thread::spawn(move || {
             let mut ctx = heap.ctx();
             let mut gc_ctx = heap.ctx();
@@ -267,6 +273,9 @@ pub fn run_mt_on(
                 } else if tid == 0 && op.is_multiple_of(32) {
                     heap.maybe_defrag(&mut gc_ctx);
                 }
+                if let Some(p) = &op_progress {
+                    p.fetch_add(1, Ordering::Release);
+                }
                 turn.fetch_add(1, Ordering::Release);
             }
             (ctx.cycles(), gc_ctx.cycles(), live)
@@ -305,7 +314,11 @@ pub fn run_mt_on(
         ops: total_ops,
         avg_footprint,
         avg_live,
-        avg_frag: if avg_live > 0.0 { avg_footprint / avg_live } else { 1.0 },
+        avg_frag: if avg_live > 0.0 {
+            avg_footprint / avg_live
+        } else {
+            1.0
+        },
         app_cycles,
         gc_driver_cycles: gc_cycles,
         gc: heap.gc_stats(),
@@ -313,7 +326,6 @@ pub fn run_mt_on(
         latency: (0, 0, 0, 0),
     }
 }
-
 
 /// Runs `workload` under `cfg`, returning the collected metrics.
 pub fn run(workload: &mut dyn Workload, cfg: &DriverConfig) -> RunResult {
@@ -331,12 +343,13 @@ pub fn run(workload: &mut dyn Workload, cfg: &DriverConfig) -> RunResult {
 
 /// Like [`run`] but against a caller-provided heap, invoking `hook`
 /// between operations (fault injection uses this to snapshot crash
-/// images mid-run).
+/// images mid-run; crash-site replays return `false` from the hook to
+/// truncate the run at the shortest reproducing op prefix).
 pub fn run_on(
     workload: &mut dyn Workload,
     cfg: &DriverConfig,
     heap: &DefragHeap,
-    hook: &mut Option<&mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>)>,
+    hook: &mut OpHook<'_>,
 ) -> RunResult {
     let mut app_ctx = heap.ctx();
     let mut gc_ctx = heap.ctx();
@@ -349,15 +362,16 @@ pub fn run_on(
     workload.setup(heap, &mut app_ctx);
 
     let do_op = |insert: bool,
-                     workload: &mut dyn Workload,
-                     app_ctx: &mut ffccd_pmem::Ctx,
-                     gc_ctx: &mut ffccd_pmem::Ctx,
-                     keys: &mut KeyGen,
-                     live: &mut BTreeSet<u64>,
-                     samples: &mut Vec<Sample>,
-                     latencies: &mut Vec<u64>,
-                     op_index: &mut u64,
-                     hook: &mut Option<&mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>)>| {
+                 workload: &mut dyn Workload,
+                 app_ctx: &mut ffccd_pmem::Ctx,
+                 gc_ctx: &mut ffccd_pmem::Ctx,
+                 keys: &mut KeyGen,
+                 live: &mut BTreeSet<u64>,
+                 samples: &mut Vec<Sample>,
+                 latencies: &mut Vec<u64>,
+                 op_index: &mut u64,
+                 hook: &mut OpHook<'_>|
+     -> bool {
         let t0 = app_ctx.cycles();
         if insert {
             let k = keys.fresh();
@@ -386,27 +400,52 @@ pub fn run_on(
                 live: st.live_bytes,
             });
         }
-        if let Some(h) = hook {
-            h(*op_index, heap, live);
+        match hook {
+            Some(h) => h(*op_index, heap, live),
+            None => true,
         }
     };
 
+    let mut stopped = false;
     for _ in 0..cfg.mix.init {
-        do_op(
-            true, workload, &mut app_ctx, &mut gc_ctx, &mut keys, &mut live, &mut samples,
-            &mut latencies, &mut op_index, hook,
-        );
+        if !do_op(
+            true,
+            workload,
+            &mut app_ctx,
+            &mut gc_ctx,
+            &mut keys,
+            &mut live,
+            &mut samples,
+            &mut latencies,
+            &mut op_index,
+            hook,
+        ) {
+            stopped = true;
+            break;
+        }
     }
-    for phase in 0..cfg.mix.phases {
-        let insert = phase % 2 == 1; // delete, insert, delete
-        for _ in 0..cfg.mix.phase_ops {
-            if !insert && live.is_empty() {
-                break;
+    if !stopped {
+        'phases: for phase in 0..cfg.mix.phases {
+            let insert = phase % 2 == 1; // delete, insert, delete
+            for _ in 0..cfg.mix.phase_ops {
+                if !insert && live.is_empty() {
+                    break;
+                }
+                if !do_op(
+                    insert,
+                    workload,
+                    &mut app_ctx,
+                    &mut gc_ctx,
+                    &mut keys,
+                    &mut live,
+                    &mut samples,
+                    &mut latencies,
+                    &mut op_index,
+                    hook,
+                ) {
+                    break 'phases;
+                }
             }
-            do_op(
-                insert, workload, &mut app_ctx, &mut gc_ctx, &mut keys, &mut live, &mut samples,
-                &mut latencies, &mut op_index, hook,
-            );
         }
     }
 
@@ -436,7 +475,11 @@ pub fn run_on(
         ops: op_index,
         avg_footprint,
         avg_live,
-        avg_frag: if avg_live > 0.0 { avg_footprint / avg_live } else { 1.0 },
+        avg_frag: if avg_live > 0.0 {
+            avg_footprint / avg_live
+        } else {
+            1.0
+        },
         app_cycles: app_ctx.cycles(),
         gc_driver_cycles: gc_ctx.cycles(),
         gc: heap.gc_stats(),

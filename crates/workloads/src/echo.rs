@@ -52,7 +52,9 @@ impl Echo {
     /// larger table pins a larger share of the heap (the paper's reason
     /// Echo benefits least from defragmentation).
     pub fn with_buckets(buckets: u64) -> Self {
-        Echo { buckets: buckets.max(16) }
+        Echo {
+            buckets: buckets.max(16),
+        }
     }
 
     fn bucket(&self, key: u64) -> u64 {
@@ -68,7 +70,11 @@ impl Workload for Echo {
     fn registry(&self) -> TypeRegistry {
         let mut reg = TypeRegistry::new();
         let refs: Vec<u32> = (0..self.buckets as u32).map(|i| i * 8).collect();
-        reg.register(TypeDesc::new("echo_array", (self.buckets * 8) as u32, &refs));
+        reg.register(TypeDesc::new(
+            "echo_array",
+            (self.buckets * 8) as u32,
+            &refs,
+        ));
         reg.register(TypeDesc::new("echo_entry", 0, &[NEXT as u32]));
         reg
     }
@@ -206,6 +212,7 @@ mod tests {
             assert!(w.delete(&h, &mut ctx, k));
             expected.remove(&k);
         }
-        w.validate(&h, &mut ctx, &expected).expect("chains consistent");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("chains consistent");
     }
 }

@@ -102,12 +102,7 @@ impl FpTree {
         resolved
     }
 
-    fn slot_scan(
-        heap: &DefragHeap,
-        ctx: &mut Ctx,
-        leaf: PmPtr,
-        key: u64,
-    ) -> Option<usize> {
+    fn slot_scan(heap: &DefragHeap, ctx: &mut Ctx, leaf: PmPtr, key: u64) -> Option<usize> {
         let fp = Self::fingerprint(key);
         for i in 0..SLOTS {
             let mut b = [0u8; 1];
@@ -195,12 +190,15 @@ impl Workload for FpTree {
             entries.sort_by_key(|&(k, _, _)| k);
             let mid_key = entries[SLOTS / 2].0;
             let right = Self::new_leaf(heap, ctx);
-            let mut ri = 0u64;
-            for &(k, fp, v) in entries.iter().filter(|&&(k, _, _)| k >= mid_key) {
+            for (ri, &(k, fp, v)) in entries
+                .iter()
+                .filter(|&&(k, _, _)| k >= mid_key)
+                .enumerate()
+            {
+                let ri = ri as u64;
                 heap.write_u64(ctx, right, L_KEYS + ri * 8, k);
                 heap.write_bytes(ctx, right, L_FPS + ri, &[fp]);
                 heap.store_ref(ctx, right, L_VALS + ri * 8, v);
-                ri += 1;
             }
             heap.persist(ctx, right, 0, LEAF_SIZE);
             let next = heap.load_ref(ctx, leaf, L_NEXT);
@@ -313,7 +311,8 @@ mod tests {
         for &k in &expected {
             assert!(w.contains(&h, &mut ctx, k), "missing {k}");
         }
-        w.validate(&h, &mut ctx, &expected).expect("leaves consistent");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("leaves consistent");
     }
 
     #[test]
@@ -333,7 +332,8 @@ mod tests {
         for &k in &expected {
             assert!(w2.contains(&h, &mut ctx, k), "index rebuild lost {k}");
         }
-        w2.validate(&h, &mut ctx, &expected).expect("consistent after rebuild");
+        w2.validate(&h, &mut ctx, &expected)
+            .expect("consistent after rebuild");
     }
 
     #[test]
@@ -359,6 +359,7 @@ mod tests {
         for &k in expected.iter().take(64) {
             assert!(w.contains(&h, &mut ctx, k), "stale index after GC for {k}");
         }
-        w.validate(&h, &mut ctx, &expected).expect("consistent after epochs");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("consistent after epochs");
     }
 }

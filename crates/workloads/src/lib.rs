@@ -28,8 +28,8 @@ mod echo;
 mod fptree;
 mod linked_list;
 mod pmemkv;
-pub mod redis;
 mod rbtree;
+pub mod redis;
 mod string_swap;
 mod workload;
 

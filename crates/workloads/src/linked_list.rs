@@ -172,13 +172,17 @@ mod tests {
         for &k in &expected {
             w.insert(&h, &mut ctx, k, 64);
         }
-        w.validate(&h, &mut ctx, &expected).expect("chains consistent");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("chains consistent");
         for &k in expected.iter().step_by(7) {
             assert!(w.contains(&h, &mut ctx, k));
             assert!(w.delete(&h, &mut ctx, k));
             assert!(!w.contains(&h, &mut ctx, k));
         }
-        assert!(!w.delete(&h, &mut ctx, 7), "7 was already deleted in the sweep");
+        assert!(
+            !w.delete(&h, &mut ctx, 7),
+            "7 was already deleted in the sweep"
+        );
     }
 
     #[test]

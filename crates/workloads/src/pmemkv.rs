@@ -194,7 +194,8 @@ mod tests {
         for &k in &expected {
             w.insert(&h, &mut ctx, k, 96);
         }
-        w.validate(&h, &mut ctx, &expected).expect("all buckets consistent");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("all buckets consistent");
     }
 
     #[test]
@@ -222,6 +223,7 @@ mod tests {
             while h.step_compaction(&mut ctx, 64) {}
         }
         assert!(h.gc_stats().objects_relocated > 0);
-        w.validate(&h, &mut ctx, &expected).expect("consistent after relocation");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("consistent after relocation");
     }
 }

@@ -353,9 +353,14 @@ mod tests {
             w.insert(&h, &mut ctx, k, 32);
         }
         let root = h.root(&mut ctx);
-        assert_eq!(h.read_u64(&mut ctx, root, COLOR), BLACK, "root must be black");
+        assert_eq!(
+            h.read_u64(&mut ctx, root, COLOR),
+            BLACK,
+            "root must be black"
+        );
         let expected: BTreeSet<u64> = (0..256).collect();
-        w.validate(&h, &mut ctx, &expected).expect("ordered with parent links");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("ordered with parent links");
     }
 
     #[test]
@@ -379,11 +384,7 @@ mod tests {
                 let c = h.load_ref(&mut ctx, n, side);
                 if !c.is_null() {
                     if color == RED {
-                        assert_eq!(
-                            h.read_u64(&mut ctx, c, COLOR),
-                            BLACK,
-                            "red-red violation"
-                        );
+                        assert_eq!(h.read_u64(&mut ctx, c, COLOR), BLACK, "red-red violation");
                     }
                     stack.push(c);
                 }
@@ -400,12 +401,19 @@ mod tests {
         for k in [50u64, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43] {
             w.insert(&h, &mut ctx, k, 32);
         }
-        let mut expected: BTreeSet<u64> =
-            [50u64, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43].into_iter().collect();
-        for victim in [6u64 /* leaf */, 12 /* one child */, 25 /* two children */, 50 /* root-ish */] {
+        let mut expected: BTreeSet<u64> = [50u64, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43]
+            .into_iter()
+            .collect();
+        for victim in [
+            6u64, /* leaf */
+            12,   /* one child */
+            25,   /* two children */
+            50,   /* root-ish */
+        ] {
             assert!(w.delete(&h, &mut ctx, victim));
             expected.remove(&victim);
-            w.validate(&h, &mut ctx, &expected).expect("consistent after delete");
+            w.validate(&h, &mut ctx, &expected)
+                .expect("consistent after delete");
         }
     }
 
@@ -433,6 +441,7 @@ mod tests {
             h.step_compaction(&mut ctx, 8);
         }
         h.exit(&mut ctx);
-        w.validate(&h, &mut ctx, &expected).expect("valid through GC");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("valid through GC");
     }
 }

@@ -71,7 +71,9 @@ impl Workload for StringSwap {
     fn insert(&mut self, heap: &DefragHeap, ctx: &mut Ctx, key: u64, value_size: usize) {
         let dir = heap.root(ctx);
         let slot = Self::bucket(key) * 8;
-        let s = heap.alloc(ctx, T_STR, VAL + value_size as u64).expect("string");
+        let s = heap
+            .alloc(ctx, T_STR, VAL + value_size as u64)
+            .expect("string");
         let head = heap.load_ref(ctx, dir, slot);
         heap.write_u64(ctx, s, KEY, key);
         heap.write_u64(ctx, s, GEN, 0);
@@ -190,7 +192,8 @@ mod tests {
             // exercises generation bumps heavily.
             w.insert(&h, &mut ctx, k, 96);
         }
-        w.validate(&h, &mut ctx, &expected).expect("values intact after swaps");
+        w.validate(&h, &mut ctx, &expected)
+            .expect("values intact after swaps");
     }
 
     #[test]

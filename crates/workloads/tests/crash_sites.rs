@@ -1,0 +1,134 @@
+//! Crash-site sweep smoke tests: enumeration finds a rich site space,
+//! capture+validate succeeds at every targeted site, and a single site
+//! replays deterministically from its `(seed, site_id)` pair.
+
+use ffccd::Scheme;
+use ffccd_pmem::MachineConfig;
+use ffccd_workloads::driver::{DriverConfig, PhaseMix};
+use ffccd_workloads::faults::{replay_crash_site, run_crash_site_sweep, CrashPlan};
+use ffccd_workloads::{AvlTree, LinkedList, Workload};
+
+fn sweep_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix::tiny();
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.pool.machine = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    cfg.seed = seed;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg
+}
+
+fn make_ll() -> Box<dyn Workload> {
+    Box::new(LinkedList::new())
+}
+
+#[test]
+fn sweep_validates_every_targeted_site() {
+    let seed = 0xC0FFEE;
+    let cfg = sweep_cfg(Scheme::FfccdFenceFree, seed);
+    let plan = CrashPlan::new(seed, 12);
+    let report = run_crash_site_sweep(&make_ll, Scheme::FfccdFenceFree, &plan, &cfg);
+    assert!(
+        report.total_sites > 1000,
+        "a tiny run still fires thousands of durability events, got {}",
+        report.total_sites
+    );
+    assert_eq!(report.targeted, 12);
+    assert_eq!(
+        report.captured, report.targeted,
+        "every targeted site must fire in the replay run (determinism)"
+    );
+    assert!(
+        report.failures.is_empty(),
+        "sweep failures: {:#?}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!("{} at {}: {}", f.triple(), f.kind, f.message))
+            .collect::<Vec<_>>()
+    );
+    assert!(!report.site_counts.is_empty());
+}
+
+/// The `sec7_1` sweep-campaign configuration — regression triples below
+/// were found (and must keep passing) at exactly this geometry.
+fn sec71_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix {
+        init: 1200,
+        phase_ops: 900,
+        phases: 3,
+    };
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.pool.machine = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    cfg.seed = seed;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg
+}
+
+fn assert_site_recovers(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    scheme: Scheme,
+    seed: u64,
+    site: u64,
+) {
+    let cfg = sec71_cfg(scheme, seed);
+    let (op, res) =
+        replay_crash_site(make, scheme, seed, site, &cfg).expect("regression site must fire");
+    assert!(
+        res.is_ok(),
+        "({seed:#x}, {site}, op {op}) regressed: {res:?}"
+    );
+}
+
+/// Regression: a crash during `terminate()`'s frame-teardown loop used to
+/// be indistinguishable from a mid-compaction crash (cycle header still 1).
+/// SFCCD recovery then re-copied source over destination, rolling back the
+/// durable reference fixup and leaving pointers into already-released
+/// frames. The teardown now advances the header to state 2 first; this
+/// site crashes mid-teardown and must recover cleanly.
+#[test]
+fn teardown_crash_recovers_sfccd() {
+    assert_site_recovers(&make_ll, Scheme::Sfccd, 0x517e01, 271422);
+}
+
+/// Regression: fence-free teardown crashes used to leave a stale frag-page
+/// bit (site 93273) or a dangling cycle header (site 347428) that the
+/// `entries.is_empty()` early-return in recovery never cleaned up.
+#[test]
+fn teardown_crash_recovers_fence_free() {
+    assert_site_recovers(&make_ll, Scheme::FfccdFenceFree, 0x517e02, 93273);
+    assert_site_recovers(&make_ll, Scheme::FfccdFenceFree, 0x517e02, 347428);
+}
+
+/// Regression: AVL insert/delete once rebalanced reachable nodes in place,
+/// so a crash mid-rotation lost keys or broke BST order (these triples all
+/// failed validation). Updates are now path-copied and commit with a
+/// single persisted root store.
+#[test]
+fn avl_crash_sites_recover() {
+    let make_avl: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(AvlTree::new());
+    assert_site_recovers(make_avl, Scheme::Sfccd, 0x517e12, 262140);
+    assert_site_recovers(make_avl, Scheme::FfccdFenceFree, 0x517e13, 683398);
+}
+
+#[test]
+fn single_site_replay_is_deterministic() {
+    let seed = 0xBEEF;
+    let cfg = sweep_cfg(Scheme::FfccdCheckLookup, seed);
+    // Pick a site that fires well into the run.
+    let site_id = 5000;
+    let a = replay_crash_site(&make_ll, Scheme::FfccdCheckLookup, seed, site_id, &cfg);
+    let b = replay_crash_site(&make_ll, Scheme::FfccdCheckLookup, seed, site_id, &cfg);
+    let (op_a, res_a) = a.expect("site must fire");
+    let (op_b, res_b) = b.expect("site must fire again");
+    assert_eq!(op_a, op_b, "same site fires during the same op");
+    assert_eq!(res_a.is_ok(), res_b.is_ok());
+    assert!(res_a.is_ok(), "replay validation failed: {res_a:?}");
+}

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use ffccd::{DefragConfig, Scheme};
+use ffccd::Scheme;
 use ffccd_pmem::MachineConfig;
 use ffccd_pmop::PoolConfig;
 use ffccd_workloads::driver::{run, run_on, DriverConfig, PhaseMix};
@@ -16,7 +16,10 @@ fn tiny_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
     let mut cfg = DriverConfig::new(scheme);
     cfg.mix = PhaseMix::tiny();
     cfg.pool.data_bytes = 8 << 20;
-    cfg.pool.machine = MachineConfig { seed, ..MachineConfig::default() };
+    cfg.pool.machine = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
     cfg.seed = seed;
     cfg.defrag.min_live_bytes = 1 << 12;
     cfg
@@ -26,7 +29,10 @@ fn tiny_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
 fn exercise(mut w: Box<dyn Workload>, scheme: Scheme, seed: u64) {
     let cfg = tiny_cfg(scheme, seed);
     let pool_cfg = PoolConfig {
-        machine: MachineConfig { seed, ..MachineConfig::default() },
+        machine: MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        },
         ..cfg.pool.clone()
     };
     let heap = ffccd::DefragHeap::create(pool_cfg, w.registry(), cfg.defrag).expect("heap");
@@ -35,9 +41,9 @@ fn exercise(mut w: Box<dyn Workload>, scheme: Scheme, seed: u64) {
     {
         let mut hook = |_op: u64, _h: &ffccd::DefragHeap, live: &BTreeSet<u64>| {
             final_keys = live.clone();
+            true
         };
-        let mut hook_dyn: Option<&mut dyn FnMut(u64, &ffccd::DefragHeap, &BTreeSet<u64>)> =
-            Some(&mut hook);
+        let mut hook_dyn: ffccd_workloads::driver::OpHook<'_> = Some(&mut hook);
         let result = run_on(&mut *w, &cfg, &heap, &mut hook_dyn);
         assert!(result.ops > 0);
         assert!(result.avg_frag >= 1.0);
@@ -151,9 +157,15 @@ fn defrag_reduces_fragmentation_on_ll() {
 fn echo_benefits_less_than_pmemkv() {
     let seed = 11;
     let echo_base = run(&mut Echo::new(), &medium_cfg(Scheme::Baseline, seed));
-    let echo_ours = run(&mut Echo::new(), &medium_cfg(Scheme::FfccdCheckLookup, seed));
+    let echo_ours = run(
+        &mut Echo::new(),
+        &medium_cfg(Scheme::FfccdCheckLookup, seed),
+    );
     let kv_base = run(&mut Pmemkv::new(), &medium_cfg(Scheme::Baseline, seed));
-    let kv_ours = run(&mut Pmemkv::new(), &medium_cfg(Scheme::FfccdCheckLookup, seed));
+    let kv_ours = run(
+        &mut Pmemkv::new(),
+        &medium_cfg(Scheme::FfccdCheckLookup, seed),
+    );
     let echo_red = echo_ours.fragmentation_reduction_vs(&echo_base);
     let kv_red = kv_ours.fragmentation_reduction_vs(&kv_base);
     // At unit-test scale Echo's pinned bucket array is a small heap share,
@@ -191,13 +203,7 @@ fn mt_fault_injection_bztree() {
 fn mt_fault_injection_fptree_sfccd() {
     use ffccd_workloads::faults::run_mt_fault_injection;
     let cfg = tiny_cfg(Scheme::Sfccd, 310);
-    let report = run_mt_fault_injection(
-        &|| Box::new(FpTree::new()),
-        4,
-        Scheme::Sfccd,
-        310,
-        4,
-        &cfg,
-    );
+    let report =
+        run_mt_fault_injection(&|| Box::new(FpTree::new()), 4, Scheme::Sfccd, 310, 4, &cfg);
     assert!(report.failures.is_empty(), "{:?}", report.failures);
 }

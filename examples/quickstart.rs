@@ -96,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     heap.defrag_now(&mut ctx);
     heap.step_compaction(&mut ctx, 10); // move a few objects, then pull the plug
     let image = heap.engine().crash_image();
-    println!("crashed mid-compaction (cycle in flight: {})", heap.in_cycle());
+    println!(
+        "crashed mid-compaction (cycle in flight: {})",
+        heap.in_cycle()
+    );
 
     // 5. recovery(): the reached bitmap tells recovery which objects made
     //    it to persistence; everything else is finished or undone.

@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately
+//! simple measurement loop: warm up briefly, then time batches until the
+//! measurement window closes, and print mean ns/iter. No statistics, no
+//! HTML reports, no comparison against saved baselines.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), every benchmark runs exactly one iteration, so CI smoke-checks
+//! the code paths without paying measurement time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats all variants alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub sample_size: usize,
+    pub measurement_time: Duration,
+    pub warm_up_time: Duration,
+    pub test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config.clone();
+        run_one("", &id.into().0, &config, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().0, &self.config, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().0, &self.config, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    config: Config,
+    /// (iterations, elapsed) accumulated by the last `iter*` call.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.config.test_mode {
+            black_box(routine());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up: run until the warm-up window closes.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measure in batches sized from the warm-up rate.
+        let batch = warm_iters.clamp(1, 1 << 20);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.config.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            black_box(routine(setup()));
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let window = Instant::now();
+        while window.elapsed() < self.config.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((iters, spent));
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size)
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, config: &Config, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        config: config.clone(),
+        measured: None,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match b.measured {
+        Some((iters, elapsed)) if iters > 0 && !config.test_mode => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<40} {ns:>12.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("{label:<40} ok (test mode)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Config {
+        Config {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+            test_mode: false,
+        }
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            config: tiny_config(),
+            measured: None,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        let (iters, _) = b.measured.expect("measured");
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.config.measurement_time = Duration::from_millis(2);
+        c.config.warm_up_time = Duration::from_millis(1);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(2));
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `parking_lot` to this crate. Only the API surface the workspace actually
+//! uses is provided: non-poisoning `Mutex` / `RwLock` whose `lock` / `read` /
+//! `write` return guards directly (poison is swallowed by taking the inner
+//! value, matching parking_lot's panic-transparent semantics closely enough
+//! for a deterministic simulator).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Reader-writer lock supporting `read_recursive`, which parking_lot
+/// guarantees never deadlocks when the calling thread already holds a read
+/// guard (std's `RwLock` may, if a writer is queued). Built on
+/// Mutex+Condvar: `read` yields to queued writers (fairness), while
+/// `read_recursive` only waits for an *active* writer.
+pub struct RwLock<T: ?Sized> {
+    state: sync::Mutex<RwState>,
+    cond: sync::Condvar,
+    data: std::cell::UnsafeCell<T>,
+}
+
+#[derive(Default)]
+struct RwState {
+    readers: usize,
+    writer_active: bool,
+    writers_waiting: usize,
+}
+
+// Same bounds as std::sync::RwLock.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(&'a RwLock<T>);
+
+pub struct RwLockWriteGuard<'a, T: ?Sized>(&'a RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: sync::Mutex::new(RwState {
+                readers: 0,
+                writer_active: false,
+                writers_waiting: 0,
+            }),
+            cond: sync::Condvar::new(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn state(&self) -> sync::MutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let mut st = self.state();
+        while st.writer_active || st.writers_waiting > 0 {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.readers += 1;
+        RwLockReadGuard(self)
+    }
+
+    /// Like [`read`](Self::read) but does not queue behind waiting
+    /// writers, so it may nest under an existing read guard on the same
+    /// thread without deadlocking.
+    pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
+        let mut st = self.state();
+        while st.writer_active {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.readers += 1;
+        RwLockReadGuard(self)
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let mut st = self.state();
+        if st.writer_active {
+            return None;
+        }
+        st.readers += 1;
+        Some(RwLockReadGuard(self))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut st = self.state();
+        st.writers_waiting += 1;
+        while st.writer_active || st.readers > 0 {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.writers_waiting -= 1;
+        st.writer_active = true;
+        RwLockWriteGuard(self)
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let mut st = self.state();
+        if st.writer_active || st.readers > 0 {
+            return None;
+        }
+        st.writer_active = true;
+        Some(RwLockWriteGuard(self))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            None => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state();
+        st.readers -= 1;
+        if st.readers == 0 {
+            drop(st);
+            self.0.cond.notify_all();
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state();
+        st.writer_active = false;
+        drop(st);
+        self.0.cond.notify_all();
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Sound: readers > 0 excludes any writer until this guard drops.
+        unsafe { &*self.0.data.get() }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.0.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Sound: writer_active excludes all readers and other writers.
+        unsafe { &mut *self.0.data.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_recursive_read_with_queued_writer() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(0u32));
+        let outer = l.read();
+        // A writer queues up in another thread...
+        let l2 = Arc::clone(&l);
+        let w = std::thread::spawn(move || {
+            *l2.write() += 1;
+        });
+        // ...give it time to start waiting, then re-read recursively;
+        // this must not deadlock.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let inner = l.read_recursive();
+        assert_eq!(*inner, 0);
+        drop(inner);
+        drop(outer);
+        w.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+}

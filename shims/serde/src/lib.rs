@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (for
+//! forward-compat with tooling that might dump stats as JSON); nothing in
+//! the tree calls a serializer. The traits are therefore empty markers and
+//! the derives expand to nothing. Code that tries to actually serialize
+//! will fail to compile, which is the gate we want while the build has no
+//! network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Matches serde's `de` module far enough for `serde::de::DeserializeOwned`
+/// bounds, should any appear.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on stats/config structs
+//! but never invokes a serializer (there is no serde_json or similar in the
+//! dependency tree), so the derives only need to parse — they expand to
+//! nothing. If a future PR adds real serialization it must vendor the real
+//! serde; this shim will make that need loud by failing to compile such
+//! code rather than corrupting data.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

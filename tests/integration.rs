@@ -5,7 +5,7 @@ use ffccd_repro::ffccd::{validate_heap, DefragConfig, DefragHeap, Scheme};
 use ffccd_repro::pmem::{Ctx, MachineConfig};
 use ffccd_repro::pmop::{PoolConfig, TypeDesc, TypeRegistry};
 use ffccd_repro::workloads::driver::{run, DriverConfig, PhaseMix};
-use ffccd_repro::workloads::{AvlTree, LinkedList, Pmemkv, Workload};
+use ffccd_repro::workloads::{AvlTree, LinkedList, Pmemkv};
 
 fn small_driver(scheme: Scheme, seed: u64) -> DriverConfig {
     let mut cfg = DriverConfig::new(scheme);
@@ -51,9 +51,7 @@ fn scheme_cost_ordering_matches_paper() {
     for scheme in [Scheme::Espresso, Scheme::Sfccd, Scheme::FfccdFenceFree] {
         let r = run(&mut AvlTree::new(), &small_driver(scheme, 2));
         assert!(r.gc.objects_relocated > 0, "{scheme}: nothing relocated");
-        per_obj.push(
-            (r.gc.copy_cycles + r.gc.state_cycles) as f64 / r.gc.objects_relocated as f64,
-        );
+        per_obj.push((r.gc.copy_cycles + r.gc.state_cycles) as f64 / r.gc.objects_relocated as f64);
     }
     assert!(
         per_obj[0] > per_obj[1] && per_obj[1] > per_obj[2],
@@ -63,10 +61,7 @@ fn scheme_cost_ordering_matches_paper() {
 
 #[test]
 fn checklookup_beats_software_lookup() {
-    let soft = run(
-        &mut Pmemkv::new(),
-        &small_driver(Scheme::FfccdFenceFree, 3),
-    );
+    let soft = run(&mut Pmemkv::new(), &small_driver(Scheme::FfccdFenceFree, 3));
     let hw = run(
         &mut Pmemkv::new(),
         &small_driver(Scheme::FfccdCheckLookup, 3),
@@ -87,14 +82,7 @@ fn crash_anywhere_in_a_full_run_recovers() {
     for scheme in [Scheme::Sfccd, Scheme::FfccdCheckLookup] {
         let mut w = AvlTree::new();
         let cfg = small_driver(scheme, 4);
-        let report = run_fault_injection(
-            &mut w,
-            &|| Box::new(AvlTree::new()),
-            scheme,
-            4,
-            5,
-            &cfg,
-        );
+        let report = run_fault_injection(&mut w, &|| Box::new(AvlTree::new()), scheme, 4, 5, &cfg);
         assert!(
             report.failures.is_empty(),
             "{scheme}: {:?}",
@@ -133,12 +121,9 @@ fn relocatability_pool_base_can_move_between_runs() {
     heap.persist(&mut ctx, b, 0, 16);
     heap.set_root(&mut ctx, a);
     let image = heap.engine().crash_image();
-    let (heap2, _) = DefragHeap::open_recovered(
-        &image,
-        reg,
-        DefragConfig::normal(Scheme::FfccdCheckLookup),
-    )
-    .expect("recover");
+    let (heap2, _) =
+        DefragHeap::open_recovered(&image, reg, DefragConfig::normal(Scheme::FfccdCheckLookup))
+            .expect("recover");
     // Remap at a different base: offset-based pointers still resolve.
     heap2.pool().set_base(0x7FFF_0000_0000);
     let mut ctx2 = heap2.ctx();
@@ -279,7 +264,7 @@ fn three_generation_lifecycle_with_crashes() {
         while !cur.is_null() {
             let next = heap.load_ref(&mut ctx, cur, 0);
             let v = heap.read_u64(&mut ctx, cur, 8);
-            if v % 3 != 0 && v / 1000 == generation {
+            if !v.is_multiple_of(3) && v / 1000 == generation {
                 if prev.is_null() {
                     heap.set_root(&mut ctx, next);
                 } else {
@@ -296,10 +281,9 @@ fn three_generation_lifecycle_with_crashes() {
         heap.maybe_defrag(&mut ctx);
         heap.step_compaction(&mut ctx, 25);
         let image = heap.engine().crash_image();
-        let (next_heap, _) = DefragHeap::open_recovered(&image, reg.clone(), cfg)
-            .expect("generation recovery");
-        validate_heap(&next_heap)
-            .unwrap_or_else(|e| panic!("gen {generation}: {e:?}"));
+        let (next_heap, _) =
+            DefragHeap::open_recovered(&image, reg.clone(), cfg).expect("generation recovery");
+        validate_heap(&next_heap).unwrap_or_else(|e| panic!("gen {generation}: {e:?}"));
         // Count the list.
         let mut ctx2 = next_heap.ctx();
         let mut count = 0u64;
