@@ -30,8 +30,9 @@ pub fn relocate(ctx: &mut Ctx, engine: &PmEngine, src: u64, dst: u64, len: u64) 
         let chunk = remaining.min(src_room).min(dst_room);
         ctx.stats.relocates += 1;
         ctx.charge(engine.config().rbb_latency);
-        let data = engine.read_vec(ctx, src + copied, chunk);
+        let data = engine.read_pooled(ctx, src + copied, chunk);
         engine.write_pending(ctx, dst + copied, &data);
+        ctx.put_buf(data);
         copied += chunk;
     }
 }

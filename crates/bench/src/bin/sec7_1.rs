@@ -11,17 +11,26 @@
 //! evictions, GC phase transitions) rather than at op boundaries; set
 //! `FFCCD_SITE_BUDGET` for the per-setting capture budget (default 64)
 //! and `FFCCD_SWEEP_ONLY=1` to run just the sweep (CI smoke).
+//!
+//! The sweep campaign fans its 12 settings out over `--jobs N` threads
+//! (or `FFCCD_JOBS`; default 1). Every sweep pins the engine to its
+//! single-bank deterministic mode, so the per-setting reports — and the
+//! printed table, which is emitted in fixed setting order after the
+//! fan-out joins — are identical at every job count.
 
 use ffccd::Scheme;
 use ffccd_bench::{driver_config, header, rule};
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
+use ffccd_workloads::par::parallel_map;
 use ffccd_workloads::{
     AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
 };
 
-/// A boxed workload constructor, keyed by display name in the campaign tables.
-type Factory = Box<dyn Fn() -> Box<dyn Workload>>;
+/// A boxed workload constructor, keyed by display name in the campaign
+/// tables. `Send + Sync` so the sweep campaign can fan settings out
+/// across threads.
+type Factory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
 
 fn injections() -> u64 {
     std::env::var("FFCCD_INJECTIONS")
@@ -37,9 +46,30 @@ fn site_budget() -> u64 {
         .unwrap_or(64)
 }
 
+/// Sweep fan-out width: `--jobs N` / `--jobs=N` on the command line,
+/// falling back to `FFCCD_JOBS`, then 1 (fully sequential).
+fn jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=").and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("FFCCD_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Crash-site sweep: 4 schemes x 3 workloads, each capturing up to
-/// `FFCCD_SITE_BUDGET` images at durability-event granularity.
-fn sweep_campaign() -> u64 {
+/// `FFCCD_SITE_BUDGET` images at durability-event granularity. Settings
+/// fan out over `jobs` threads; rows print in fixed setting order once
+/// the fan-out joins, so the output is job-count-invariant.
+fn sweep_campaign(jobs: usize) -> u64 {
     header("Section 7.1b: crash-site sweep (durability-event granularity)");
     let factories: Vec<(&str, Factory)> = vec![
         ("LL", Box::new(|| Box::new(LinkedList::new()))),
@@ -58,53 +88,62 @@ fn sweep_campaign() -> u64 {
     );
     rule(82);
     let budget = site_budget();
-    let mut failures = 0;
-    for (wi, (name, make)) in factories.iter().enumerate() {
-        for (si, &scheme) in schemes.iter().enumerate() {
-            let seed = 0x517e00 + wi as u64 * 17 + si as u64;
-            let mut cfg = driver_config(scheme, false, seed);
-            cfg.mix = PhaseMix {
-                init: 1200,
-                phase_ops: 900,
-                phases: 3,
-            };
-            cfg.pool.data_bytes = 8 << 20;
-            cfg.defrag.min_live_bytes = 1 << 12;
-            let plan = CrashPlan::new(seed, budget);
-            let report = run_crash_site_sweep(&**make, scheme, &plan, &cfg);
-            // The site space must be rich enough for a meaningful sweep,
-            // every targeted site must fire on replay, and every image
-            // must validate.
-            let ok = report.failures.is_empty()
-                && report.captured == report.targeted
-                && (budget < 50 || report.targeted >= 50);
-            println!(
-                "{:<8} {:<22} {:>10} {:>9} {:>9} {:>10} {:>8}",
-                name,
-                scheme.label(),
-                report.total_sites,
-                report.targeted,
-                report.captured,
-                report.mid_cycle,
-                if ok { "PASS" } else { "FAIL" }
-            );
-            if !ok {
-                failures += 1;
-                for f in report.failures.iter().take(3) {
-                    println!(
-                        "    {} during {}: {}{}",
-                        f.triple(),
-                        f.kind,
-                        f.message,
-                        if f.reproduced { " [reproduced]" } else { "" }
-                    );
-                }
+    let settings: Vec<(usize, usize)> = (0..factories.len())
+        .flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si)))
+        .collect();
+    let rows = parallel_map(&settings, jobs.max(1), |_, &(wi, si)| {
+        let (name, make) = &factories[wi];
+        let scheme = schemes[si];
+        let seed = 0x517e00 + wi as u64 * 17 + si as u64;
+        let mut cfg = driver_config(scheme, false, seed);
+        cfg.mix = PhaseMix {
+            init: 1200,
+            phase_ops: 900,
+            phases: 3,
+        };
+        cfg.pool.data_bytes = 8 << 20;
+        cfg.defrag.min_live_bytes = 1 << 12;
+        let plan = CrashPlan::new(seed, budget);
+        let report = run_crash_site_sweep(&**make, scheme, &plan, &cfg);
+        // The site space must be rich enough for a meaningful sweep,
+        // every targeted site must fire on replay, and every image
+        // must validate.
+        let ok = report.failures.is_empty()
+            && report.captured == report.targeted
+            && (budget < 50 || report.targeted >= 50);
+        let mut lines = vec![format!(
+            "{:<8} {:<22} {:>10} {:>9} {:>9} {:>10} {:>8}",
+            name,
+            scheme.label(),
+            report.total_sites,
+            report.targeted,
+            report.captured,
+            report.mid_cycle,
+            if ok { "PASS" } else { "FAIL" }
+        )];
+        if !ok {
+            for f in report.failures.iter().take(3) {
+                lines.push(format!(
+                    "    {} during {}: {}{}",
+                    f.triple(),
+                    f.kind,
+                    f.message,
+                    if f.reproduced { " [reproduced]" } else { "" }
+                ));
             }
         }
+        (lines, u64::from(!ok))
+    });
+    let mut failures = 0;
+    for (lines, failed) in rows {
+        for line in lines {
+            println!("{line}");
+        }
+        failures += failed;
     }
     rule(82);
     println!(
-        "sweep: {} settings, budget {budget}: {}",
+        "sweep: {} settings, budget {budget}, jobs {jobs}: {}",
         factories.len() * schemes.len(),
         if failures == 0 {
             "ALL PASS".to_owned()
@@ -118,7 +157,7 @@ fn sweep_campaign() -> u64 {
 fn main() {
     let mut sweep_failures = 0;
     if std::env::var("FFCCD_SWEEP_ONLY").is_ok() {
-        sweep_failures = sweep_campaign();
+        sweep_failures = sweep_campaign(jobs());
         if sweep_failures > 0 {
             std::process::exit(1);
         }
@@ -228,7 +267,7 @@ fn main() {
         }
     );
     println!();
-    sweep_failures += sweep_campaign();
+    sweep_failures += sweep_campaign(jobs());
     if failures + sweep_failures > 0 {
         std::process::exit(1);
     }

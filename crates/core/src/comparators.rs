@@ -83,8 +83,9 @@ impl DefragHeap {
                 let total = obj.size as u64 + OBJ_HEADER_BYTES;
                 let src_off = layout.frame_start(src) + obj.slot as u64 * SLOT_BYTES;
                 let dst_off = layout.frame_start(dst) + obj.slot as u64 * SLOT_BYTES;
-                let data = engine.read_vec(ctx, src_off, total);
+                let data = engine.read_pooled(ctx, src_off, total);
                 engine.write(ctx, dst_off, &data);
+                ctx.put_buf(data);
                 engine.persist(ctx, dst_off, total);
                 // Destination bookkeeping: reserve the same slots.
                 pool.reserve_destination_slots(
@@ -168,8 +169,9 @@ impl DefragHeap {
                 let (dframe, next) = cur.expect("destination ensured");
                 let src_off = layout.frame_start(src) + obj.slot as u64 * SLOT_BYTES;
                 let dst_off = layout.frame_start(dframe) + next as u64 * SLOT_BYTES;
-                let data = engine.read_vec(ctx, src_off, total);
+                let data = engine.read_pooled(ctx, src_off, total);
                 engine.write(ctx, dst_off, &data);
+                ctx.put_buf(data);
                 engine.persist(ctx, dst_off, total);
                 pool.reserve_destination_slots(
                     ctx,

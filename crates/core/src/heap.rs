@@ -425,9 +425,7 @@ impl DefragHeap {
             }
             _ => {
                 // Software path: is_frag_page bitmap, then PMFT walk.
-                let byte = self
-                    .engine()
-                    .read_vec(ctx, inner.meta.fragmap_byte(frame), 1)[0];
+                let byte = self.engine().read_u8(ctx, inner.meta.fragmap_byte(frame));
                 if byte >> (frame % 8) & 1 == 0 {
                     None
                 } else {
@@ -489,14 +487,16 @@ impl DefragHeap {
             Scheme::Baseline => unreachable!("baseline never relocates"),
             Scheme::Espresso => {
                 // memcpy; clwb each line; sfence (full persist barrier #1).
-                let data = self.engine().read_vec(ctx, src, total);
+                let data = self.engine().read_pooled(ctx, src, total);
                 self.engine().write(ctx, dst, &data);
+                ctx.put_buf(data);
                 self.engine().persist(ctx, dst, total);
             }
             Scheme::Sfccd => {
                 // memcpy; clwb each line; *no* sfence (Figure 7a line 8).
-                let data = self.engine().read_vec(ctx, src, total);
+                let data = self.engine().read_pooled(ctx, src, total);
                 self.engine().write(ctx, dst, &data);
+                ctx.put_buf(data);
                 for line in ffccd_pmem::lines_spanning(dst, total) {
                     self.engine().clwb(ctx, line.start());
                 }
@@ -535,14 +535,14 @@ impl DefragHeap {
     /// Reads the moved bit for (frame, slot).
     pub(crate) fn read_moved(&self, ctx: &mut Ctx, frame: u64, slot: usize) -> bool {
         let off = self.inner.meta.moved_bitmap(frame) + slot as u64 / 8;
-        let byte = self.engine().read_vec(ctx, off, 1)[0];
+        let byte = self.engine().read_u8(ctx, off);
         byte >> (slot % 8) & 1 == 1
     }
 
     /// Sets the moved bit with the scheme's persistence discipline.
     fn write_moved(&self, ctx: &mut Ctx, frame: u64, slot: usize) {
         let off = self.inner.meta.moved_bitmap(frame) + slot as u64 / 8;
-        let byte = self.engine().read_vec(ctx, off, 1)[0] | 1 << (slot % 8);
+        let byte = self.engine().read_u8(ctx, off) | 1 << (slot % 8);
         self.engine().write(ctx, off, &[byte]);
         match self.inner.cfg.scheme {
             // Espresso and SFCCD: clwb(moved[x]); sfence (the barrier each

@@ -271,7 +271,7 @@ impl DefragHeap {
                 engine.write(ctx, inner.meta.moved_bitmap(frame), &[0u8; 32]);
                 engine.persist(ctx, inner.meta.moved_bitmap(frame), 32);
                 let fb = inner.meta.fragmap_byte(frame);
-                let byte = engine.read_vec(ctx, fb, 1)[0] | 1 << (frame % 8);
+                let byte = engine.read_u8(ctx, fb) | 1 << (frame % 8);
                 engine.write(ctx, fb, &[byte]);
                 engine.persist(ctx, fb, 1);
                 pool.set_frame_kind(frame, FrameKind::Relocation);
@@ -457,7 +457,7 @@ impl DefragHeap {
         //    frame whose teardown was interrupted.
         for &f in &cs.reloc_frames {
             let fb = inner.meta.fragmap_byte(f);
-            let byte = engine.read_vec(ctx, fb, 1)[0] & !(1 << (f % 8));
+            let byte = engine.read_u8(ctx, fb) & !(1 << (f % 8));
             engine.write(ctx, fb, &[byte]);
             engine.persist(ctx, fb, 1);
             inner.pool.release_frame(ctx, f);

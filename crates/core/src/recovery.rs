@@ -127,7 +127,7 @@ pub fn recover(
                 report.already_durable += 1;
             }
             let fb = meta.fragmap_byte(e.reloc_frame);
-            let byte = engine.read_vec(&mut ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+            let byte = engine.read_u8(&mut ctx, fb) & !(1 << (e.reloc_frame % 8));
             engine.write(&mut ctx, fb, &[byte]);
             engine.persist(&mut ctx, fb, 1);
             // The whole relocation frame is vacated: every object lives at
@@ -174,9 +174,12 @@ pub fn recover(
                     // Observation 2 / Figure 7b: moved==1 may precede the
                     // copy's durability; compare and re-copy on mismatch.
                     if moved {
-                        let a = engine.read_vec(&mut ctx, src, total);
-                        let b = engine.read_vec(&mut ctx, dst, total);
-                        if a != b {
+                        let a = engine.read_pooled(&mut ctx, src, total);
+                        let b = engine.read_pooled(&mut ctx, dst, total);
+                        let differ = a != b;
+                        ctx.put_buf(a);
+                        ctx.put_buf(b);
+                        if differ {
                             copy_persist(&mut ctx, engine, src, dst, total);
                             Fate::Finished
                         } else {
@@ -219,8 +222,9 @@ pub fn recover(
                             let seg_lo = dst.max(line.start());
                             let seg_hi = (dst + total).min(line.end());
                             let src_seg = src + (seg_lo - dst);
-                            let data = engine.read_vec(&mut ctx, src_seg, seg_hi - seg_lo);
+                            let data = engine.read_pooled(&mut ctx, src_seg, seg_hi - seg_lo);
                             engine.write(&mut ctx, seg_lo, &data);
+                            ctx.put_buf(data);
                             engine.persist(&mut ctx, seg_lo, seg_hi - seg_lo);
                         }
                         set_moved(&mut ctx, engine, &meta, e.reloc_frame, src_slot);
@@ -332,7 +336,7 @@ pub fn recover(
         // PMFT entry, frag bit, moved bitmap, reached word all reset.
         pmft_clear(&mut ctx, engine, &pmft, e.reloc_frame);
         let fb = meta.fragmap_byte(e.reloc_frame);
-        let byte = engine.read_vec(&mut ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+        let byte = engine.read_u8(&mut ctx, fb) & !(1 << (e.reloc_frame % 8));
         engine.write(&mut ctx, fb, &[byte]);
         engine.persist(&mut ctx, fb, 1);
         engine.write(&mut ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
@@ -377,26 +381,27 @@ fn read_moved(
     slot: usize,
 ) -> bool {
     let off = meta.moved_bitmap(frame) + slot as u64 / 8;
-    engine.read_vec(ctx, off, 1)[0] >> (slot % 8) & 1 == 1
+    engine.read_u8(ctx, off) >> (slot % 8) & 1 == 1
 }
 
 fn set_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) {
     let off = meta.moved_bitmap(frame) + slot as u64 / 8;
-    let byte = engine.read_vec(ctx, off, 1)[0] | 1 << (slot % 8);
+    let byte = engine.read_u8(ctx, off) | 1 << (slot % 8);
     engine.write(ctx, off, &[byte]);
     engine.persist(ctx, off, 1);
 }
 
 fn clear_moved(ctx: &mut Ctx, engine: &PmEngine, meta: &GcMetaLayout, frame: u64, slot: usize) {
     let off = meta.moved_bitmap(frame) + slot as u64 / 8;
-    let byte = engine.read_vec(ctx, off, 1)[0] & !(1 << (slot % 8));
+    let byte = engine.read_u8(ctx, off) & !(1 << (slot % 8));
     engine.write(ctx, off, &[byte]);
     engine.persist(ctx, off, 1);
 }
 
 fn copy_persist(ctx: &mut Ctx, engine: &PmEngine, src: u64, dst: u64, total: u64) {
-    let data = engine.read_vec(ctx, src, total);
+    let data = engine.read_pooled(ctx, src, total);
     engine.write(ctx, dst, &data);
+    ctx.put_buf(data);
     engine.persist(ctx, dst, total);
 }
 
@@ -431,7 +436,7 @@ fn rollback_summary(
         write_record(engine, ctx, dst_rec_off, &dst_rec);
         pmft.clear(ctx, engine, e.reloc_frame);
         let fb = meta.fragmap_byte(e.reloc_frame);
-        let byte = engine.read_vec(ctx, fb, 1)[0] & !(1 << (e.reloc_frame % 8));
+        let byte = engine.read_u8(ctx, fb) & !(1 << (e.reloc_frame % 8));
         engine.write(ctx, fb, &[byte]);
         engine.persist(ctx, fb, 1);
     }

@@ -108,8 +108,24 @@ impl CacheSim {
         if self.index.contains_key(&line) {
             return true;
         }
+        self.insert(line, media.read_line(line), evicted_out);
+        false
+    }
+
+    /// Inserts `line` clean with the given fill `data` (no-op if already
+    /// resident), evicting victims into `evicted_out` as needed. Unlike
+    /// [`CacheSim::touch`] the caller supplies the fill, so fills from the
+    /// in-flight stage or WPQ need no second write pass over the line.
+    pub fn insert(
+        &mut self,
+        line: Line,
+        data: [u8; CACHELINE_BYTES as usize],
+        evicted_out: &mut Vec<Evicted>,
+    ) {
+        if self.index.contains_key(&line) {
+            return;
+        }
         self.make_room(evicted_out);
-        let data = media.read_line(line);
         self.index.insert(line, self.entries.len());
         self.entries.push((
             line,
@@ -119,7 +135,6 @@ impl CacheSim {
                 pending: false,
             },
         ));
-        false
     }
 
     /// Writes `data` into the (resident) line at byte `offset_in_line`,

@@ -1,8 +1,13 @@
 //! Per-thread execution context: cycle counter, stats, private TLB.
 
+use crate::cache::Evicted;
 use crate::stats::ThreadStats;
 use crate::timing::MachineConfig;
 use crate::tlb::Tlb;
+
+/// Upper bound on pooled scratch buffers kept per context; past this,
+/// returned buffers are simply dropped.
+const BUF_POOL_CAP: usize = 8;
 
 /// Execution context for one simulated hardware thread (core).
 ///
@@ -37,6 +42,15 @@ pub struct Ctx {
     /// influences simulated behaviour — only equality does — so the
     /// process-global counter does not break run-to-run determinism.
     pub(crate) tag: u64,
+    /// Bitmask of engine banks this core pushed in-flight writebacks into
+    /// since its last `sfence`; the fence only visits these banks instead
+    /// of sweeping all of them.
+    pub(crate) dirty_banks: u64,
+    /// Reusable eviction scratch so the per-access fill path does not
+    /// allocate a fresh `Vec` on every cache miss.
+    pub(crate) evict_scratch: Vec<Evicted>,
+    /// Pooled byte buffers for [`take_buf`](Ctx::take_buf)/[`put_buf`](Ctx::put_buf).
+    buf_pool: Vec<Vec<u8>>,
 }
 
 static NEXT_TAG: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -50,6 +64,28 @@ impl Ctx {
             tlb: Tlb::new(cfg),
             unfenced_clwbs: 0,
             tag: NEXT_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            dirty_banks: 0,
+            evict_scratch: Vec::new(),
+            buf_pool: Vec::new(),
+        }
+    }
+
+    /// Borrows a zeroed scratch buffer of `len` bytes from this context's
+    /// pool (allocating only when the pool is empty). Return it with
+    /// [`Ctx::put_buf`] once done so hot copy loops stop churning the
+    /// allocator.
+    pub fn take_buf(&mut self, len: usize) -> Vec<u8> {
+        let mut v = self.buf_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0);
+        v
+    }
+
+    /// Returns a scratch buffer to the pool (bounded; excess is dropped).
+    pub fn put_buf(&mut self, mut v: Vec<u8>) {
+        if self.buf_pool.len() < BUF_POOL_CAP {
+            v.clear();
+            self.buf_pool.push(v);
         }
     }
 
@@ -75,5 +111,20 @@ mod tests {
         ctx.charge(7);
         ctx.charge(3);
         assert_eq!(ctx.cycles(), 10);
+    }
+
+    #[test]
+    fn buf_pool_recycles() {
+        let mut ctx = Ctx::new(&MachineConfig::default());
+        let mut b = ctx.take_buf(128);
+        assert_eq!(b.len(), 128);
+        b[0] = 0xff;
+        let cap = b.capacity();
+        ctx.put_buf(b);
+        // The recycled buffer comes back zeroed with its capacity intact.
+        let b2 = ctx.take_buf(64);
+        assert_eq!(b2.len(), 64);
+        assert_eq!(b2[0], 0);
+        assert!(b2.capacity() >= cap.min(64));
     }
 }

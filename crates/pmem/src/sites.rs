@@ -16,9 +16,16 @@
 //! 1. a *reference run* enumerates all sites ([`PmEngine::site_tracking_enumerate`]),
 //! 2. *replay runs* re-execute the identical workload with capture armed
 //!    for chosen IDs ([`PmEngine::site_tracking_capture`]); right after
-//!    each targeted event fires, a [`CrashImage`] is snapshotted inside
-//!    the engine lock, so the image reflects exactly the machine state at
-//!    that event.
+//!    each targeted event fires, a [`CrashImage`] is snapshotted while the
+//!    bank lock is still held, so the image reflects exactly the machine
+//!    state at that event.
+//!
+//! Site tracking requires the engine's **single-bank deterministic mode**
+//! (`MachineConfig::banks <= 1`): with multiple banks, per-bank RNG
+//! streams interleave by thread schedule and a global event order no
+//! longer exists. The engine enforces this — enabling tracking on a
+//! banked engine panics — and the sweep/replay harness forces `banks = 1`
+//! on every run it makes.
 //!
 //! A failing site is replayable forever from the `(seed, site_id)` pair.
 
@@ -141,8 +148,10 @@ enum Mode {
     Capture,
 }
 
-/// Engine-internal tracker; lives inside the engine lock so events and
-/// captures are atomic with respect to other threads.
+/// Engine-internal tracker; lives behind its own mutex in the engine's
+/// shared state, and only runs on single-bank engines, so events and
+/// captures stay globally ordered and atomic with respect to other
+/// threads.
 #[derive(Debug, Default)]
 pub(crate) struct SiteTracker {
     mode: Mode,
@@ -176,10 +185,6 @@ impl SiteTracker {
         self.mode = Mode::Off;
         self.targets.clear();
         summary
-    }
-
-    pub(crate) fn active(&self) -> bool {
-        self.mode != Mode::Off
     }
 
     /// Registers an event; returns the trace when a capture is wanted.
@@ -236,9 +241,8 @@ mod tests {
     #[test]
     fn off_mode_records_nothing() {
         let mut t = SiteTracker::default();
-        assert!(!t.active());
-        // The engine guards on `active()`; a stray note would still be
-        // harmless but must not capture.
+        // The engine gates events on its `sites_active` flag; a stray note
+        // would still be harmless but must not capture.
         assert!(t.note(SiteKind::Store, 0).is_none());
     }
 }

@@ -73,6 +73,13 @@ pub struct MachineConfig {
     pub bloom_filter_bytes: usize,
     /// Seed for the engine's eviction RNG (fault injection varies this).
     pub seed: u64,
+    /// Number of engine banks (cache/WPQ/in-flight shards, each behind its
+    /// own lock; cacheline-indexed). `0` means *auto*, which resolves to 1
+    /// — the **deterministic mode** whose event order is byte-identical to
+    /// the original global-lock engine and the only mode crash-site
+    /// tracking accepts. Multi-threaded throughput runs opt into more banks
+    /// explicitly (see [`MachineConfig::resolved_banks`]).
+    pub banks: usize,
     /// eADR platform: the persistence domain extends over the whole cache
     /// hierarchy, so dirty cache lines survive power failure (paper §4.4
     /// weighs this against FFCCD's RBB: eADR needs ~300 mm³ of battery to
@@ -109,12 +116,19 @@ impl Default for MachineConfig {
             bloom_filters: 8,
             bloom_filter_bytes: 1024,
             seed: 0x5eed_f0cc_d000_0001,
+            banks: 0,
             eadr: false,
         }
     }
 }
 
 impl MachineConfig {
+    /// The effective bank count: `banks` clamped to `1..=64`, with `0`
+    /// (auto) resolving to the single-bank deterministic mode.
+    pub fn resolved_banks(&self) -> usize {
+        self.banks.clamp(1, 64)
+    }
+
     /// A configuration with a tiny cache and WPQ, useful in tests that want
     /// to exercise eviction and drain paths quickly.
     pub fn tiny_for_tests() -> Self {
@@ -154,6 +168,22 @@ mod tests {
         let c = MachineConfig::tiny_for_tests();
         assert!(c.cache_capacity_lines <= 16);
         assert!(c.wpq_capacity <= 4);
+    }
+
+    #[test]
+    fn banks_resolve_with_auto_and_clamp() {
+        assert_eq!(MachineConfig::default().banks, 0);
+        assert_eq!(MachineConfig::default().resolved_banks(), 1);
+        let c = MachineConfig {
+            banks: 8,
+            ..MachineConfig::default()
+        };
+        assert_eq!(c.resolved_banks(), 8);
+        let c = MachineConfig {
+            banks: 1 << 20,
+            ..MachineConfig::default()
+        };
+        assert_eq!(c.resolved_banks(), 64);
     }
 
     #[test]

@@ -4,14 +4,23 @@
 //! Under ADR the persistence domain ends at the WPQ: queued writebacks are
 //! flushed to media by residual power, while dirty cache lines and
 //! writebacks still in flight (clwb'd but not fenced) are lost.
+//!
+//! Every contract runs at `banks = 1` (the deterministic single-bank
+//! engine) *and* `banks = 8` (the concurrent banked engine): banking
+//! shards the WPQ and in-flight stage per bank, and none of these
+//! crash-visibility guarantees may depend on how the shards are drawn.
 
 use ffccd_pmem::{Ctx, MachineConfig, PmEngine};
 
+/// The bank widths every contract below must hold at.
+const BANK_WIDTHS: [usize; 2] = [1, 8];
+
 /// Background eviction off: lines only persist through explicit clwb/sfence.
-fn quiet_engine() -> PmEngine {
+fn quiet_engine(banks: usize) -> PmEngine {
     PmEngine::new(
         MachineConfig {
             evict_denom: u32::MAX,
+            banks,
             ..MachineConfig::default()
         },
         1 << 20,
@@ -20,48 +29,54 @@ fn quiet_engine() -> PmEngine {
 
 #[test]
 fn line_in_wpq_survives_crash() {
-    let e = quiet_engine();
-    let mut ctx = Ctx::new(e.config());
-    e.write(&mut ctx, 0, &[0xA1; 8]);
-    e.write(&mut ctx, 64, &[0xA2; 8]);
-    e.clwb(&mut ctx, 0);
-    e.clwb(&mut ctx, 64);
-    e.sfence(&mut ctx); // both lines accepted by the WPQ; one drains
-                        // At least one of the two lines is still sitting in the WPQ (the
-                        // fence's background drain retires a single entry), so the crash
-                        // image exercises the ADR WPQ flush, not just media state.
-    let in_media = e.with_media(|m| {
-        u64::from_le_bytes(m.read_vec(0, 8).try_into().unwrap()) != 0
-            && u64::from_le_bytes(m.read_vec(64, 8).try_into().unwrap()) != 0
-    });
-    assert!(
-        !in_media,
-        "one line must still be WPQ-resident, not in media"
-    );
-    let img = e.crash_image();
-    assert_eq!(img.media().read_vec(0, 8), vec![0xA1; 8]);
-    assert_eq!(img.media().read_vec(64, 8), vec![0xA2; 8]);
+    for banks in BANK_WIDTHS {
+        let e = quiet_engine(banks);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xA1; 8]);
+        e.write(&mut ctx, 64, &[0xA2; 8]);
+        e.clwb(&mut ctx, 0);
+        e.clwb(&mut ctx, 64);
+        e.sfence(&mut ctx); // both lines accepted by the WPQ; one drains
+                            // At least one of the two lines is still sitting in the WPQ (the
+                            // fence's background drain retires a single entry), so the crash
+                            // image exercises the ADR WPQ flush, not just media state.
+        let in_media = e.with_media(|m| {
+            u64::from_le_bytes(m.read_vec(0, 8).try_into().unwrap()) != 0
+                && u64::from_le_bytes(m.read_vec(64, 8).try_into().unwrap()) != 0
+        });
+        assert!(
+            !in_media,
+            "banks={banks}: one line must still be WPQ-resident, not in media"
+        );
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(0, 8), vec![0xA1; 8], "banks={banks}");
+        assert_eq!(img.media().read_vec(64, 8), vec![0xA2; 8], "banks={banks}");
+    }
 }
 
 #[test]
 fn dirty_cache_line_does_not_survive_crash() {
-    let e = quiet_engine();
-    let mut ctx = Ctx::new(e.config());
-    e.write(&mut ctx, 128, &[0xB1; 8]);
-    let img = e.crash_image();
-    assert_eq!(img.media().read_vec(128, 8), vec![0u8; 8]);
+    for banks in BANK_WIDTHS {
+        let e = quiet_engine(banks);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 128, &[0xB1; 8]);
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(128, 8), vec![0u8; 8], "banks={banks}");
+    }
 }
 
 #[test]
 fn clwb_without_sfence_leaves_line_non_durable() {
-    let e = quiet_engine();
-    let mut ctx = Ctx::new(e.config());
-    e.write(&mut ctx, 256, &[0xC1; 8]);
-    e.clwb(&mut ctx, 256);
-    // No sfence and no further memory operations: the writeback is still
-    // in flight, outside the persistence domain.
-    let img = e.crash_image();
-    assert_eq!(img.media().read_vec(256, 8), vec![0u8; 8]);
-    // The live engine still sees the logical value, of course.
-    assert_eq!(e.peek_vec(256, 8), vec![0xC1; 8]);
+    for banks in BANK_WIDTHS {
+        let e = quiet_engine(banks);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 256, &[0xC1; 8]);
+        e.clwb(&mut ctx, 256);
+        // No sfence and no further memory operations: the writeback is still
+        // in flight, outside the persistence domain.
+        let img = e.crash_image();
+        assert_eq!(img.media().read_vec(256, 8), vec![0u8; 8], "banks={banks}");
+        // The live engine still sees the logical value, of course.
+        assert_eq!(e.peek_vec(256, 8), vec![0xC1; 8], "banks={banks}");
+    }
 }

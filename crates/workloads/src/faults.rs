@@ -11,7 +11,15 @@
 //!   site, and replay runs capture an image right after each chosen site.
 //!   This probes the persist-ordering windows inside operations, which op
 //!   spacing can never reach. Failing sites shrink to a replayable
-//!   `(seed, site_id, op)` triple via [`replay_crash_site`].
+//!   `(seed, site_id, op)` triple via [`replay_crash_site`]. The capture
+//!   pass fans out across threads ([`run_crash_site_sweep_jobs`]): the
+//!   target set splits round-robin into per-job chunks, each replayed
+//!   independently from the same seed, so the merged report is identical
+//!   at every job count.
+//!
+//! Sweep and replay runs always force the engine's single-bank
+//! deterministic mode (`banks = 1`), because site IDs and captured images
+//! must be bit-reproducible from `(seed, site_id)` alone.
 //!
 //! Every image is restarted, recovered with the scheme's recovery
 //! procedure, and validated twice — GC-metadata consistency
@@ -60,6 +68,18 @@ fn seeded_pool(cfg: &DriverConfig, seed: u64) -> PoolConfig {
         },
         ..cfg.pool.clone()
     }
+}
+
+/// Pool config for sweep and replay runs: like [`seeded_pool`] but pinned
+/// to the engine's single-bank deterministic mode. Crash-site IDs and the
+/// images captured at them must be byte-reproducible from a `(seed,
+/// site_id)` pair alone — across processes, job counts, and whatever
+/// `banks` the caller's machine config asks for — and the engine itself
+/// rejects site tracking on a banked engine.
+fn deterministic_pool(cfg: &DriverConfig, seed: u64) -> PoolConfig {
+    let mut pool = seeded_pool(cfg, seed);
+    pool.machine.banks = 1;
+    pool
 }
 
 /// Multithreaded fault injection: `threads` application threads plus the
@@ -339,12 +359,33 @@ pub struct SweepReport {
 /// pre-op or the post-op key set (anything else is a real consistency
 /// violation).
 pub fn run_crash_site_sweep(
-    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    make_workload: &(dyn Fn() -> Box<dyn Workload> + Sync),
     scheme: Scheme,
     plan: &CrashPlan,
     cfg: &DriverConfig,
 ) -> SweepReport {
-    let pool_cfg = seeded_pool(cfg, plan.seed);
+    run_crash_site_sweep_jobs(make_workload, scheme, plan, cfg, 1)
+}
+
+/// [`run_crash_site_sweep`] with the capture pass fanned out over `jobs`
+/// threads.
+///
+/// The target set is split round-robin into (at most) `jobs` chunks and
+/// each chunk runs its *own* full capture replay — every replay starts
+/// from the same seed and single-bank deterministic engine, so the sites a
+/// chunk captures fire at exactly the IDs and contents the reference run
+/// enumerated, independent of what the other chunks are doing. Partial
+/// tallies merge by summation and failures are sorted by site ID, so the
+/// report is identical for every job count; `jobs = 1` *is* the
+/// sequential sweep.
+pub fn run_crash_site_sweep_jobs(
+    make_workload: &(dyn Fn() -> Box<dyn Workload> + Sync),
+    scheme: Scheme,
+    plan: &CrashPlan,
+    cfg: &DriverConfig,
+    jobs: usize,
+) -> SweepReport {
+    let pool_cfg = deterministic_pool(cfg, plan.seed);
     let defrag = fault_defrag(scheme);
 
     // Pass 1: reference run enumerates the site space.
@@ -369,51 +410,19 @@ pub fn run_crash_site_sweep(
         ..SweepReport::default()
     };
 
-    // Pass 2: identical run with capture armed; validate at op boundaries.
-    {
-        let mut w = make_workload();
-        let heap =
-            DefragHeap::create(pool_cfg.clone(), w.registry(), defrag).expect("sweep capture pool");
-        heap.engine().site_tracking_capture(targets);
-        let engine = heap.engine().clone();
-        let mut prev_live: BTreeSet<u64> = BTreeSet::new();
-        {
-            let mut hook = |op: u64, _heap: &DefragHeap, live: &BTreeSet<u64>| {
-                for cap in engine.drain_site_captures() {
-                    absorb_capture(
-                        &mut report,
-                        &cap,
-                        op,
-                        plan,
-                        defrag,
-                        make_workload,
-                        &prev_live,
-                        live,
-                    );
-                }
-                prev_live = live.clone();
-                true
-            };
-            let mut hook_dyn: OpHook<'_> = Some(&mut hook);
-            run_on(&mut *w, cfg, &heap, &mut hook_dyn);
-        }
-        // Sites firing during wind-down (`exit()`) see the final key set.
-        let final_live = prev_live.clone();
-        let final_op = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) as u64;
-        for cap in heap.engine().drain_site_captures() {
-            absorb_capture(
-                &mut report,
-                &cap,
-                final_op,
-                plan,
-                defrag,
-                make_workload,
-                &final_live,
-                &final_live,
-            );
-        }
-        heap.engine().site_tracking_stop();
+    // Pass 2: capture replays, one per target chunk, in parallel.
+    let chunks = split_round_robin(&targets, jobs.max(1));
+    let tallies = crate::par::parallel_map(&chunks, jobs.max(1), |_, chunk| {
+        capture_pass(make_workload, chunk.clone(), &pool_cfg, defrag, plan, cfg)
+    });
+    for tally in tallies {
+        report.captured += tally.captured;
+        report.mid_cycle += tally.mid_cycle;
+        report.recovered_objects += tally.recovered_objects;
+        report.undone_objects += tally.undone_objects;
+        report.failures.extend(tally.failures);
     }
+    report.failures.sort_by_key(|f| f.site_id);
 
     // Pass 3: shrink failures to confirmed minimal triples.
     if plan.shrink {
@@ -434,6 +443,97 @@ pub fn run_crash_site_sweep(
     report
 }
 
+/// Splits `targets` round-robin into at most `n` non-empty chunks.
+fn split_round_robin(targets: &BTreeSet<u64>, n: usize) -> Vec<BTreeSet<u64>> {
+    let n = n.clamp(1, targets.len().max(1));
+    let mut chunks: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    for (i, &t) in targets.iter().enumerate() {
+        chunks[i % n].insert(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// What one capture pass tallies; merged by summation into [`SweepReport`].
+#[derive(Default)]
+struct PassTally {
+    captured: u64,
+    mid_cycle: u64,
+    recovered_objects: u64,
+    undone_objects: u64,
+    failures: Vec<SiteFailure>,
+}
+
+/// One full capture replay: identical run with capture armed for
+/// `targets`; images are validated at op boundaries (drained per op, so
+/// memory stays bounded by the sites firing within a single op).
+fn capture_pass(
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    targets: BTreeSet<u64>,
+    pool_cfg: &PoolConfig,
+    defrag: DefragConfig,
+    plan: &CrashPlan,
+    cfg: &DriverConfig,
+) -> PassTally {
+    let mut tally = PassTally::default();
+    let mut w = make_workload();
+    let heap =
+        DefragHeap::create(pool_cfg.clone(), w.registry(), defrag).expect("sweep capture pool");
+    heap.engine().site_tracking_capture(targets);
+    let engine = heap.engine().clone();
+    let mut prev_live: BTreeSet<u64> = BTreeSet::new();
+    {
+        let mut hook = |op: u64, _heap: &DefragHeap, live: &BTreeSet<u64>| {
+            for cap in engine.drain_site_captures() {
+                absorb_capture(
+                    &mut tally,
+                    &cap,
+                    op,
+                    plan,
+                    defrag,
+                    make_workload,
+                    &prev_live,
+                    live,
+                );
+            }
+            prev_live = live.clone();
+            true
+        };
+        let mut hook_dyn: OpHook<'_> = Some(&mut hook);
+        run_on(&mut *w, cfg, &heap, &mut hook_dyn);
+    }
+    // Sites firing during wind-down (`exit()`) see the final key set.
+    let final_live = prev_live.clone();
+    let final_op = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) as u64;
+    for cap in heap.engine().drain_site_captures() {
+        absorb_capture(
+            &mut tally,
+            &cap,
+            final_op,
+            plan,
+            defrag,
+            make_workload,
+            &final_live,
+            &final_live,
+        );
+    }
+    heap.engine().site_tracking_stop();
+    tally
+}
+
+/// Everything a single-site replay produced: the op it fired during, the
+/// captured crash image, and the validation outcome. The image is exposed
+/// so determinism tests can fingerprint replays byte-for-byte.
+#[derive(Clone, Debug)]
+pub struct SiteReplay {
+    /// 1-based op index during which the site fired.
+    pub op: u64,
+    /// The crash image captured right after the site's event.
+    pub image: CrashImage,
+    /// Recovery + two-checker validation outcome.
+    pub outcome: Result<(), String>,
+}
+
 /// Replays a single crash site: reruns the workload with capture armed for
 /// just `site_id`, truncates the run at the operation during which the
 /// site fires (the minimal reproducing op prefix), and validates recovery
@@ -448,7 +548,20 @@ pub fn replay_crash_site(
     site_id: u64,
     cfg: &DriverConfig,
 ) -> Option<(u64, Result<(), String>)> {
-    let pool_cfg = seeded_pool(cfg, seed);
+    replay_crash_site_full(make_workload, scheme, seed, site_id, cfg).map(|r| (r.op, r.outcome))
+}
+
+/// Like [`replay_crash_site`] but also returns the captured [`CrashImage`]
+/// (see [`SiteReplay`]); the byte-identical-replay regression tests pin
+/// fingerprints of these images.
+pub fn replay_crash_site_full(
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    scheme: Scheme,
+    seed: u64,
+    site_id: u64,
+    cfg: &DriverConfig,
+) -> Option<SiteReplay> {
+    let pool_cfg = deterministic_pool(cfg, seed);
     let defrag = fault_defrag(scheme);
     let mut w = make_workload();
     let heap = DefragHeap::create(pool_cfg, w.registry(), defrag).expect("site replay pool");
@@ -456,16 +569,17 @@ pub fn replay_crash_site(
         .site_tracking_capture([site_id].into_iter().collect());
     let engine = heap.engine().clone();
 
-    let mut outcome: Option<(u64, Result<(), String>)> = None;
+    let mut outcome: Option<SiteReplay> = None;
     let mut prev_live: BTreeSet<u64> = BTreeSet::new();
     {
         let mut hook = |op: u64, _heap: &DefragHeap, live: &BTreeSet<u64>| {
             if let Some(cap) = engine.drain_site_captures().into_iter().next() {
-                outcome = Some((
+                outcome = Some(SiteReplay {
                     op,
-                    validate_capture(&cap.image, defrag, make_workload, &prev_live, live)
+                    outcome: validate_capture(&cap.image, defrag, make_workload, &prev_live, live)
                         .map(|_| ()),
-                ));
+                    image: cap.image,
+                });
                 return false; // shortest reproducing op prefix
             }
             prev_live = live.clone();
@@ -478,11 +592,18 @@ pub fn replay_crash_site(
     if outcome.is_none() {
         if let Some(cap) = heap.engine().drain_site_captures().into_iter().next() {
             let final_op = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) as u64;
-            outcome = Some((
-                final_op,
-                validate_capture(&cap.image, defrag, make_workload, &prev_live, &prev_live)
-                    .map(|_| ()),
-            ));
+            outcome = Some(SiteReplay {
+                op: final_op,
+                outcome: validate_capture(
+                    &cap.image,
+                    defrag,
+                    make_workload,
+                    &prev_live,
+                    &prev_live,
+                )
+                .map(|_| ()),
+                image: cap.image,
+            });
         }
     }
     heap.engine().site_tracking_stop();
@@ -506,7 +627,7 @@ fn choose_targets(total: u64, plan: &CrashPlan) -> BTreeSet<u64> {
 
 #[allow(clippy::too_many_arguments)] // internal tally helper
 fn absorb_capture(
-    report: &mut SweepReport,
+    tally: &mut PassTally,
     cap: &ffccd_pmem::SiteCapture,
     op: u64,
     plan: &CrashPlan,
@@ -515,16 +636,16 @@ fn absorb_capture(
     live_before: &BTreeSet<u64>,
     live_after: &BTreeSet<u64>,
 ) {
-    report.captured += 1;
+    tally.captured += 1;
     match validate_capture(&cap.image, defrag, make_workload, live_before, live_after) {
         Ok(rec) => {
             if rec.had_cycle {
-                report.mid_cycle += 1;
+                tally.mid_cycle += 1;
             }
-            report.recovered_objects += rec.finished + rec.already_durable;
-            report.undone_objects += rec.undone;
+            tally.recovered_objects += rec.finished + rec.already_durable;
+            tally.undone_objects += rec.undone;
         }
-        Err(message) => report.failures.push(SiteFailure {
+        Err(message) => tally.failures.push(SiteFailure {
             seed: plan.seed,
             site_id: cap.site.id,
             op,

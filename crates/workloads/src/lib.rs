@@ -19,6 +19,7 @@
 
 pub mod driver;
 pub mod faults;
+pub mod par;
 pub mod util;
 
 mod avl;

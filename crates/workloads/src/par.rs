@@ -1,0 +1,86 @@
+//! Hand-rolled fan-out parallelism for the sweep harness.
+//!
+//! The container ships no rayon, and the sweep's unit of work (one full
+//! capture-pass replay) is seconds-coarse, so a work-stealing pool would
+//! be overkill anyway. [`parallel_map`] spawns `jobs` scoped threads that
+//! pull item indices from a shared atomic counter and write results into
+//! index-addressed slots, so the output order always matches the input
+//! order regardless of which thread finished which item first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item of `items` on up to `jobs` threads and
+/// returns the results in input order.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` (or fewer than two
+/// items) everything runs inline on the caller's thread — byte-for-byte
+/// the sequential loop, so `jobs=1` is a strict equivalence baseline for
+/// determinism tests. A panic in `f` propagates to the caller when the
+/// thread scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&items, 8, |i, &x| {
+            // Stagger finish times so late slots finish first.
+            std::thread::sleep(std::time::Duration::from_micros((97 - x) * 10));
+            (i as u64, x * 3)
+        });
+        assert_eq!(out.len(), 97);
+        for (i, (idx, tripled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*tripled, items[i] * 3);
+        }
+    }
+
+    #[test]
+    fn jobs_beyond_len_and_empty_input() {
+        let out = parallel_map(&[1u32, 2, 3], 64, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = parallel_map(&[], 4, |_, x: &u32| *x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let items: Vec<u32> = (0..50).collect();
+        let seq = parallel_map(&items, 1, |i, &x| x as usize * 7 + i);
+        let par = parallel_map(&items, 6, |i, &x| x as usize * 7 + i);
+        assert_eq!(seq, par);
+    }
+}

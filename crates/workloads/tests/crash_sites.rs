@@ -5,7 +5,10 @@
 use ffccd::Scheme;
 use ffccd_pmem::MachineConfig;
 use ffccd_workloads::driver::{DriverConfig, PhaseMix};
-use ffccd_workloads::faults::{replay_crash_site, run_crash_site_sweep, CrashPlan};
+use ffccd_workloads::faults::{
+    replay_crash_site, replay_crash_site_full, run_crash_site_sweep, run_crash_site_sweep_jobs,
+    CrashPlan,
+};
 use ffccd_workloads::{AvlTree, LinkedList, Workload};
 
 fn sweep_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
@@ -116,6 +119,84 @@ fn avl_crash_sites_recover() {
     let make_avl: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(AvlTree::new());
     assert_site_recovers(make_avl, Scheme::Sfccd, 0x517e12, 262140);
     assert_site_recovers(make_avl, Scheme::FfccdFenceFree, 0x517e13, 683398);
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The engine-banking refactor must not move a single byte of any
+/// deterministic replay. These FNV-1a fingerprints of the replayed crash
+/// images were pinned on the pre-banking global-lock engine; the
+/// single-bank deterministic mode has to reproduce them exactly — same
+/// firing op, same media bytes — forever.
+///
+/// The last case repeats a triple with `banks = 8` in the caller's
+/// machine config: sweep/replay paths must force the deterministic
+/// single-bank mode themselves, so the fingerprint may not change.
+#[test]
+fn pinned_triples_replay_byte_identically() {
+    /// (workload, factory, scheme, seed, site, firing op, media FNV-1a).
+    type PinnedCase<'a> = (
+        &'a str,
+        &'a dyn Fn() -> Box<dyn Workload>,
+        Scheme,
+        u64,
+        u64,
+        u64,
+        u64,
+    );
+    let make_ll: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(LinkedList::new());
+    let make_avl: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(AvlTree::new());
+    #[rustfmt::skip]
+    let pinned: Vec<PinnedCase<'_>> = vec![
+        ("LL",  make_ll,  Scheme::Sfccd,          0x517e01, 271422, 3322, 0x6b4b559862761232),
+        ("LL",  make_ll,  Scheme::FfccdFenceFree, 0x517e02, 93273,  1750, 0x5271ede8d6097660),
+        ("LL",  make_ll,  Scheme::FfccdFenceFree, 0x517e02, 347428, 3697, 0xbebecdc3eb31a20d),
+        ("AVL", make_avl, Scheme::Sfccd,          0x517e12, 262140, 635,  0x33581502fa73b1a1),
+        ("AVL", make_avl, Scheme::FfccdFenceFree, 0x517e13, 683398, 1441, 0x6e5dbf65353165fc),
+    ];
+    for (name, make, scheme, seed, site, op, hash) in pinned {
+        for banks in [0usize, 8] {
+            let mut cfg = sec71_cfg(scheme, seed);
+            cfg.pool.machine.banks = banks;
+            let r = replay_crash_site_full(make, scheme, seed, site, &cfg)
+                .expect("pinned site must fire");
+            assert_eq!(
+                r.op, op,
+                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks}: firing op moved"
+            );
+            assert_eq!(
+                fnv1a(r.image.media().as_bytes()),
+                hash,
+                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks}: crash image bytes moved"
+            );
+        }
+    }
+}
+
+/// Chunked parallel sweeps must merge to exactly the sequential report:
+/// same tallies at every job count (failure lists are sorted by site ID,
+/// so they'd compare equal too — this geometry produces none).
+#[test]
+fn sweep_report_is_job_count_invariant() {
+    let seed = 0xC0FFEE;
+    let cfg = sweep_cfg(Scheme::FfccdFenceFree, seed);
+    let plan = CrashPlan::new(seed, 12);
+    let a = run_crash_site_sweep_jobs(&make_ll, Scheme::FfccdFenceFree, &plan, &cfg, 1);
+    let b = run_crash_site_sweep_jobs(&make_ll, Scheme::FfccdFenceFree, &plan, &cfg, 3);
+    assert_eq!(a.total_sites, b.total_sites);
+    assert_eq!(a.targeted, b.targeted);
+    assert_eq!(a.captured, b.captured);
+    assert_eq!(a.mid_cycle, b.mid_cycle);
+    assert_eq!(a.recovered_objects, b.recovered_objects);
+    assert_eq!(a.undone_objects, b.undone_objects);
+    assert!(a.failures.is_empty() && b.failures.is_empty());
 }
 
 #[test]
