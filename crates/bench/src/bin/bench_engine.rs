@@ -22,20 +22,13 @@
 use std::time::Instant;
 
 use ffccd::Scheme;
+use ffccd_bench::report::{git_rev, render_json, validate_schema, Record};
 use ffccd_bench::{header, rule};
 use ffccd_pmem::{Ctx, MachineConfig, PmEngine};
 use ffccd_workloads::driver::{DriverConfig, PhaseMix};
 use ffccd_workloads::faults::{run_crash_site_sweep, CrashPlan};
 use ffccd_workloads::par::parallel_map;
 use ffccd_workloads::{LinkedList, Workload};
-
-/// One output record; serialized as one JSON object.
-struct Record {
-    name: String,
-    threads: usize,
-    ops_per_sec: f64,
-    wall_ms: f64,
-}
 
 /// Store/load/persist mix against a `banks`-bank engine from `threads`
 /// threads on disjoint 1 MiB regions. Returns (ops/sec, wall ms).
@@ -109,214 +102,6 @@ fn sweep_campaign(jobs: usize, mix: PhaseMix, budget: u64) -> (f64, f64) {
     (captured as f64 / wall.max(1e-9), wall * 1000.0)
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .unwrap_or_else(|| "unknown".to_owned())
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render_json(records: &[Record], rev: &str) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.2}, \
-             \"wall_ms\": {:.3}, \"git_rev\": \"{}\"}}{}\n",
-            json_escape(&r.name),
-            r.threads,
-            r.ops_per_sec,
-            r.wall_ms,
-            json_escape(rev),
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("]\n");
-    out
-}
-
-// ---- schema validation (no serde_json in the container) --------------------
-
-/// Minimal JSON value for the flat records this benchmark emits.
-#[derive(Debug, PartialEq)]
-enum Val {
-    Str(String),
-    Num(f64),
-}
-
-struct Parser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            s: s.as_bytes(),
-            i: 0,
-        }
-    }
-    fn ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-    fn eat(&mut self, c: u8) -> Result<(), String> {
-        self.ws();
-        if self.i < self.s.len() && self.s[self.i] == c {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, self.i))
-        }
-    }
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.s.get(self.i).copied()
-    }
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = self.s.get(self.i) {
-            self.i += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let e = *self.s.get(self.i).ok_or("truncated escape")?;
-                    self.i += 1;
-                    out.push(match e {
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'r' => '\r',
-                        other => other as char,
-                    });
-                }
-                c => out.push(c as char),
-            }
-        }
-        Err("unterminated string".to_owned())
-    }
-    fn number(&mut self) -> Result<f64, String> {
-        self.ws();
-        let start = self.i;
-        while self
-            .s
-            .get(self.i)
-            .is_some_and(|c| c.is_ascii_digit() || b"+-.eE".contains(c))
-        {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.s[start..self.i])
-            .ok()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-    /// Parses a flat object of string/number values.
-    fn object(&mut self) -> Result<Vec<(String, Val)>, String> {
-        self.eat(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(pairs);
-        }
-        loop {
-            let key = self.string()?;
-            self.eat(b':')?;
-            let val = match self.peek() {
-                Some(b'"') => Val::Str(self.string()?),
-                _ => Val::Num(self.number()?),
-            };
-            pairs.push((key, val));
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(pairs);
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
-            }
-        }
-    }
-}
-
-/// Validates `text` as an array of records with exactly the schema
-/// `{name: str, threads: int, ops_per_sec: num, wall_ms: num,
-/// git_rev: str}`. Returns the record count.
-fn validate_schema(text: &str) -> Result<usize, String> {
-    let mut p = Parser::new(text);
-    p.eat(b'[')?;
-    let mut n = 0;
-    if p.peek() == Some(b']') {
-        return Err("no records emitted".to_owned());
-    }
-    loop {
-        let obj = p.object()?;
-        let field = |k: &str| -> Result<&Val, String> {
-            obj.iter()
-                .find(|(key, _)| key == k)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("record {n} missing key '{k}'"))
-        };
-        match field("name")? {
-            Val::Str(_) => {}
-            v => return Err(format!("record {n}: name must be a string, got {v:?}")),
-        }
-        match field("threads")? {
-            Val::Num(t) if t.fract() == 0.0 && *t >= 1.0 => {}
-            v => {
-                return Err(format!(
-                    "record {n}: threads must be a positive int, got {v:?}"
-                ))
-            }
-        }
-        for k in ["ops_per_sec", "wall_ms"] {
-            match field(k)? {
-                Val::Num(x) if x.is_finite() && *x >= 0.0 => {}
-                v => {
-                    return Err(format!(
-                        "record {n}: {k} must be a finite number, got {v:?}"
-                    ))
-                }
-            }
-        }
-        match field("git_rev")? {
-            Val::Str(r) if !r.is_empty() => {}
-            v => return Err(format!("record {n}: git_rev must be non-empty, got {v:?}")),
-        }
-        if obj.len() != 5 {
-            return Err(format!(
-                "record {n}: expected exactly 5 keys, got {}",
-                obj.len()
-            ));
-        }
-        n += 1;
-        match p.peek() {
-            Some(b',') => p.i += 1,
-            Some(b']') => return Ok(n),
-            _ => return Err(format!("expected ',' or ']' at byte {}", p.i)),
-        }
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -365,23 +150,13 @@ fn main() {
         for threads in [1usize, 4] {
             let (ops_per_sec, wall_ms) = engine_throughput(banks, threads, ops);
             println!("{name:<22} {threads:>8} {ops_per_sec:>14.0} {wall_ms:>12.2}");
-            records.push(Record {
-                name: name.to_owned(),
-                threads,
-                ops_per_sec,
-                wall_ms,
-            });
+            records.push(Record::new(name, threads, ops_per_sec, wall_ms));
         }
     }
     for (name, jobs) in [("sweep_seq", 1usize), ("sweep_jobs4", 4)] {
         let (sites_per_sec, wall_ms) = sweep_campaign(jobs, mix, budget);
         println!("{name:<22} {jobs:>8} {sites_per_sec:>14.1} {wall_ms:>12.2}");
-        records.push(Record {
-            name: name.to_owned(),
-            threads: jobs,
-            ops_per_sec: sites_per_sec,
-            wall_ms,
-        });
+        records.push(Record::new(name, jobs, sites_per_sec, wall_ms));
     }
     rule(60);
 
@@ -407,48 +182,11 @@ fn main() {
     println!("wrote {out_path} @ {rev}");
 
     let emitted = std::fs::read_to_string(&out_path).expect("read back");
-    match validate_schema(&emitted) {
+    match validate_schema(&emitted, &[]) {
         Ok(n) => println!("schema OK: {n} records"),
         Err(e) => {
             eprintln!("schema INVALID: {e}");
             std::process::exit(1);
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn render_then_validate_roundtrips() {
-        let records = vec![
-            Record {
-                name: "engine_global".into(),
-                threads: 1,
-                ops_per_sec: 1234.5,
-                wall_ms: 10.25,
-            },
-            Record {
-                name: "sweep_jobs4".into(),
-                threads: 4,
-                ops_per_sec: 8.0,
-                wall_ms: 900.0,
-            },
-        ];
-        let json = render_json(&records, "abc1234");
-        assert_eq!(validate_schema(&json), Ok(2));
-    }
-
-    #[test]
-    fn validator_rejects_missing_and_malformed_fields() {
-        assert!(validate_schema("[]").is_err());
-        assert!(validate_schema(r#"[{"name": "x", "threads": 1}]"#).is_err());
-        let bad_threads = r#"[{"name": "x", "threads": 1.5, "ops_per_sec": 1,
-            "wall_ms": 2, "git_rev": "r"}]"#;
-        assert!(validate_schema(bad_threads).is_err());
-        let ok = r#"[{"name": "x", "threads": 2, "ops_per_sec": 1.0,
-            "wall_ms": 2.5, "git_rev": "r"}]"#;
-        assert_eq!(validate_schema(ok), Ok(1));
     }
 }

@@ -1,10 +1,16 @@
 //! Figure 16 + §7.4 — the Redis case study: memory footprint over time and
 //! tail latencies under PMDK (no defrag), STW compaction, Mesh, and FFCCD.
+//!
+//! The four variants are independent runs (each builds its own pool), so
+//! they fan out over `--jobs N` / `FFCCD_JOBS` host threads; the tables
+//! print in fixed variant order once the fan-out joins, so the output is
+//! job-count invariant.
 
 use ffccd::{DefragConfig, DefragHeap, Scheme};
-use ffccd_bench::{header, mib, rule, scale};
+use ffccd_bench::{header, jobs, mib, rule, scale};
 use ffccd_pmem::MachineConfig;
 use ffccd_pmop::PoolConfig;
+use ffccd_workloads::par::parallel_map;
 use ffccd_workloads::redis::RedisLru;
 use ffccd_workloads::util::KeyGen;
 
@@ -202,13 +208,10 @@ fn run_variant(v: Variant) -> Outcome {
 fn main() {
     header("Figure 16 / §7.4: Redis memory footprint and tail latency by scheme");
     let variants = [Variant::Pmdk, Variant::Stw, Variant::Mesh, Variant::Ffccd];
-    let outcomes: Vec<Outcome> = variants
-        .iter()
-        .map(|&v| {
-            eprintln!("[fig16] running {v:?}...");
-            run_variant(v)
-        })
-        .collect();
+    let outcomes: Vec<Outcome> = parallel_map(&variants, jobs(), |_, &v| {
+        eprintln!("[fig16] running {v:?}...");
+        run_variant(v)
+    });
 
     println!("footprint over time (MB):");
     println!(

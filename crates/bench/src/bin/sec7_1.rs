@@ -19,7 +19,7 @@
 //! fan-out joins — are identical at every job count.
 
 use ffccd::Scheme;
-use ffccd_bench::{driver_config, header, rule};
+use ffccd_bench::{driver_config, header, jobs, rule};
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
 use ffccd_workloads::par::parallel_map;
@@ -44,25 +44,6 @@ fn site_budget() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(64)
-}
-
-/// Sweep fan-out width: `--jobs N` / `--jobs=N` on the command line,
-/// falling back to `FFCCD_JOBS`, then 1 (fully sequential).
-fn jobs() -> usize {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--jobs" {
-            if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
-                return v;
-            }
-        } else if let Some(v) = a.strip_prefix("--jobs=").and_then(|s| s.parse().ok()) {
-            return v;
-        }
-    }
-    std::env::var("FFCCD_JOBS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
 }
 
 /// Crash-site sweep: 4 schemes x 3 workloads, each capturing up to

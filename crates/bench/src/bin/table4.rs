@@ -1,14 +1,23 @@
 //! Table 4 — fragmentation effectiveness on concurrent PM data structures
 //! and applications: BzTree and FPTree (1 and 4 threads), Echo, pmemkv.
+//!
+//! The six rows are independent runs (each builds its own pool), so they
+//! fan out over `--jobs N` / `FFCCD_JOBS` host threads; rows print in
+//! fixed order once the fan-out joins, so the output is job-count
+//! invariant.
 
 use ffccd::Scheme;
-use ffccd_bench::{driver_config, header, mib, rule};
+use ffccd_bench::{driver_config, header, jobs, mib, rule};
 use ffccd_workloads::driver::{run, run_mt};
+use ffccd_workloads::par::parallel_map;
 use ffccd_workloads::{BzTree, Echo, FpTree, Pmemkv, Workload};
 
 /// One table row: PMDK-reported MiB, actual live MiB, our footprint MiB,
 /// and the fragmentation reduction percentage.
 type Row = (f64, f64, f64, f64);
+
+/// One row's recipe: label, workload factory, driver thread count, seed.
+type Spec = (&'static str, fn() -> Box<dyn Workload>, usize, u64);
 
 fn single(mut w: Box<dyn Workload>, seed: u64) -> Row {
     let base = run(&mut *w, &driver_config(Scheme::Baseline, true, seed));
@@ -46,14 +55,22 @@ fn main() {
         "DS & App.", "PMDK(MB)", "Actual", "Ours", "Reduction%"
     );
     rule(60);
-    let rows: Vec<(&str, Row)> = vec![
-        ("BzTree", single(Box::new(BzTree::new()), 0x7AB41)),
-        ("BzTree (4T)", multi(&|| Box::new(BzTree::new()), 0x7AB42)),
-        ("FPTree", single(Box::new(FpTree::new()), 0x7AB43)),
-        ("FPTree (4T)", multi(&|| Box::new(FpTree::new()), 0x7AB44)),
-        ("Echo", single(Box::new(Echo::new()), 0x7AB45)),
-        ("pmemkv", single(Box::new(Pmemkv::new()), 0x7AB46)),
+    let specs: [Spec; 6] = [
+        ("BzTree", || Box::new(BzTree::new()), 1, 0x7AB41),
+        ("BzTree (4T)", || Box::new(BzTree::new()), 4, 0x7AB42),
+        ("FPTree", || Box::new(FpTree::new()), 1, 0x7AB43),
+        ("FPTree (4T)", || Box::new(FpTree::new()), 4, 0x7AB44),
+        ("Echo", || Box::new(Echo::new()), 1, 0x7AB45),
+        ("pmemkv", || Box::new(Pmemkv::new()), 1, 0x7AB46),
     ];
+    let rows: Vec<(&str, Row)> = parallel_map(&specs, jobs(), |_, &(name, make, threads, seed)| {
+        let row = if threads > 1 {
+            multi(&make, seed)
+        } else {
+            single(make(), seed)
+        };
+        (name, row)
+    });
     let mut sums = [0.0f64; 4];
     for (name, (pmdk, actual, ours, red)) in &rows {
         println!("{name:<12} {pmdk:>10.2} {actual:>10.2} {ours:>10.2} {red:>12.1}");

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use ffccd::{DefragConfig, Scheme};
 use ffccd_pmem::MachineConfig;
 use ffccd_pmop::PoolConfig;
@@ -28,6 +30,28 @@ pub fn scale() -> usize {
 
 /// Simulated "huge page" size standing in for 2 MB at evaluation scale.
 pub const HUGE_PAGE_SIM: u64 = 64 << 10;
+
+/// Fan-out width for binaries that parallelize independent rows or sweep
+/// settings over host threads: `--jobs N` / `--jobs=N` on the command
+/// line, falling back to `FFCCD_JOBS`, then 1 (fully sequential). Every
+/// consumer runs rows through `ffccd_workloads::par::parallel_map`, whose
+/// results are input-ordered — output is identical at every job count.
+pub fn jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=").and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("FFCCD_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
 
 /// Builds the standard driver configuration for a scheme at the current
 /// scale. `huge_pages` selects the simulated 2 MB footprint granularity.

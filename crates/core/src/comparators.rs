@@ -14,7 +14,7 @@
 //! neither interacts with the FFCCD cycle machinery (call them only on a
 //! [`crate::Scheme::Baseline`] heap with no cycle in flight).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ffccd_pmem::Ctx;
 use ffccd_pmop::{FrameKind, PmPtr, OBJ_HEADER_BYTES, SLOT_BYTES};
@@ -48,7 +48,10 @@ impl DefragHeap {
         // Emptier frames first: they are the cheapest to move.
         frames.sort_by_key(|f| std::cmp::Reverse(f.2));
         let mut used: Vec<bool> = vec![false; frames.len()];
-        let mut moves: HashMap<u64, u64> = HashMap::new(); // src frame → dst frame
+        // src frame → dst frame; ordered so the copy and release loops
+        // below run in frame order — iteration order feeds simulated
+        // cache state and the free list, so it must be deterministic.
+        let mut moves: BTreeMap<u64, u64> = BTreeMap::new();
         for i in 0..frames.len() {
             if used[i] {
                 continue;
@@ -147,7 +150,6 @@ impl DefragHeap {
         let sources: Vec<u64> = (0..layout.num_frames)
             .filter(|&f| pool.frame_state(f).kind == FrameKind::Active)
             .collect();
-        let source_set: std::collections::HashSet<u64> = sources.iter().copied().collect();
         if sources.is_empty() {
             return (ctx.cycles() - t0, 0);
         }
@@ -204,9 +206,11 @@ impl DefragHeap {
                 Some(new)
             },
         );
-        // Release the old frames; destinations become ordinary frames.
+        // Release the old frames in frame order (the release order shapes
+        // the free list, so it must be deterministic); destinations become
+        // ordinary frames.
         let mut released = 0u64;
-        for f in source_set {
+        for &f in &sources {
             pool.release_frame(ctx, f);
             released += 1;
         }

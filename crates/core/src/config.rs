@@ -87,6 +87,12 @@ pub struct DefragConfig {
     /// after every cycle, re-relocating the same survivors over and over —
     /// all cost, no extra footprint benefit.
     pub cooldown_ops: u64,
+    /// Number of relocation-lock stripes the §4.5 first-touch critical
+    /// section is sharded over (keyed by the object's moved-bitmap byte, so
+    /// objects sharing a bitmap byte always share a stripe). `1` reproduces
+    /// the old single global relocation lock. Purely a host-side locking
+    /// choice — cycle accounting is identical at every stripe count.
+    pub reloc_stripes: usize,
 }
 
 impl DefragConfig {
@@ -101,6 +107,7 @@ impl DefragConfig {
             min_live_bytes: 1 << 16,
             max_pages_per_cycle: 256,
             cooldown_ops: 1024,
+            reloc_stripes: 64,
         }
     }
 

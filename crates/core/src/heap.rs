@@ -1,35 +1,87 @@
 //! The defragmenting heap: the application-facing API (paper §5) and the
 //! per-scheme read barrier (Figures 6, 7 and 9).
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use ffccd_arch::{CheckLookupUnit, GcMetaLayout, LookupResult, Pmft, PmftEntry, Rbb};
-use ffccd_pmem::{Ctx, PmEngine};
+use ffccd_pmem::{CounterSink, Ctx, PmEngine};
 use ffccd_pmop::{
     PmPool, PmPtr, PoolConfig, PoolError, TypeId, TypeRegistry, FRAME_BYTES, OBJ_HEADER_BYTES,
     SLOT_BYTES,
 };
 
 use crate::config::{DefragConfig, Scheme};
-use crate::stats::{GcStats, GcStatsSnapshot};
+use crate::stats::{gc_counter, GcStats, GcStatsSnapshot};
 
-/// State of one in-flight defragmentation cycle.
+/// State of one in-flight defragmentation cycle (driver bookkeeping only —
+/// lookups live in [`CycleMirror`]).
 pub(crate) struct CycleState {
     /// Frames being evacuated.
     pub reloc_frames: Vec<u64>,
     /// Frames receiving objects.
     pub dest_frames: Vec<u64>,
-    /// Volatile mirror of the persistent PMFT, for fast driver access.
-    pub entries: HashMap<u64, PmftEntry>,
     /// Objects the compaction driver still has to move: (frame, slot).
     pub pending: VecDeque<(u64, usize)>,
+}
+
+/// Dense, frame-indexed volatile mirror of the persistent PMFT, shared via
+/// `Arc` snapshot so read-barrier lookups never contend with the compaction
+/// driver on the cycle mutex. Built once at summary, discarded at
+/// termination; the per-frame unmoved counts are the only mutable state.
+pub(crate) struct CycleMirror {
+    /// PMFT entry per relocation frame, indexed by frame number.
+    entries: Vec<Option<PmftEntry>>,
+    /// Relocation frames feeding each destination frame, indexed by the
+    /// destination frame number (the SFCCD store-mirror scans these).
+    by_dest: Vec<Vec<u64>>,
     /// Unmoved objects left per relocation frame; a frame evacuates (stops
     /// counting toward the footprint, §5) when its count reaches zero.
-    pub remaining: HashMap<u64, usize>,
+    remaining: Vec<AtomicUsize>,
+}
+
+impl CycleMirror {
+    /// Builds the mirror from `(reloc_frame, entry, object_count)` items.
+    pub fn new(num_frames: usize, items: Vec<(u64, PmftEntry, usize)>) -> Self {
+        let mut entries: Vec<Option<PmftEntry>> = vec![None; num_frames];
+        let mut by_dest: Vec<Vec<u64>> = vec![Vec::new(); num_frames];
+        let remaining: Vec<AtomicUsize> = (0..num_frames).map(|_| AtomicUsize::new(0)).collect();
+        for (frame, entry, count) in items {
+            by_dest[entry.dest_frame as usize].push(frame);
+            remaining[frame as usize].store(count, Ordering::Relaxed);
+            entries[frame as usize] = Some(entry);
+        }
+        CycleMirror {
+            entries,
+            by_dest,
+            remaining,
+        }
+    }
+
+    /// The PMFT entry for relocation frame `frame`.
+    pub fn entry(&self, frame: u64) -> Option<&PmftEntry> {
+        self.entries.get(frame as usize).and_then(|e| e.as_ref())
+    }
+
+    /// Relocation frames whose objects land in destination frame `dest`.
+    pub fn reloc_frames_into(&self, dest: u64) -> &[u64] {
+        self.by_dest
+            .get(dest as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Notes one object of `frame` moved; `true` when it was the last
+    /// unmoved one. Saturates at zero (frames outside the cycle count 0).
+    pub fn note_moved(&self, frame: u64) -> bool {
+        self.remaining[frame as usize]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .map(|prev| prev == 1)
+            .unwrap_or(false)
+    }
 }
 
 pub(crate) struct HeapInner {
@@ -43,10 +95,21 @@ pub(crate) struct HeapInner {
     /// (marking, summary, termination) hold it for write.
     pub world: RwLock<()>,
     pub cycle: Mutex<Option<CycleState>>,
+    /// Snapshot handle to the active cycle's PMFT mirror (`None` outside a
+    /// cycle). Barrier paths clone the `Arc` and work lock-free from there.
+    pub mirror: RwLock<Option<Arc<CycleMirror>>>,
     pub in_cycle: AtomicBool,
-    /// Serializes object relocation (the paper's §4.5 critical section).
-    pub reloc_lock: Mutex<()>,
-    pub stats: GcStats,
+    /// Striped relocation locks (the paper's §4.5 critical section is
+    /// per-object, so first-touch relocation only needs per-object
+    /// exclusivity). A stripe is picked from the object's moved-bitmap
+    /// byte — objects sharing a bitmap byte share a stripe, keeping the
+    /// read-modify-write of that byte exclusive — and the `moved`-bit
+    /// double-check under the stripe preserves exactly-once relocation.
+    pub reloc_stripes: Box<[Mutex<()>]>,
+    pub stats: Arc<GcStats>,
+    /// `stats` as a counter sink (same allocation), pre-coerced once so the
+    /// barrier hot path installs it with a pointer compare.
+    pub stats_sink: Arc<dyn CounterSink>,
     /// Allocator operations observed (the §5 monitor's clock).
     pub op_counter: std::sync::atomic::AtomicU64,
     /// `op_counter` value when the last cycle started (trigger hysteresis).
@@ -142,6 +205,11 @@ impl DefragHeap {
             .scheme
             .uses_checklookup()
             .then(|| CheckLookupUnit::new(pmft));
+        let stats = Arc::new(GcStats::default());
+        let stats_sink: Arc<dyn CounterSink> = stats.clone();
+        let reloc_stripes: Box<[Mutex<()>]> = (0..cfg.reloc_stripes.max(1))
+            .map(|_| Mutex::new(()))
+            .collect();
         DefragHeap {
             inner: Arc::new(HeapInner {
                 pool,
@@ -152,9 +220,11 @@ impl DefragHeap {
                 clu,
                 world: RwLock::new(()),
                 cycle: Mutex::new(None),
+                mirror: RwLock::new(None),
                 in_cycle: AtomicBool::new(false),
-                reloc_lock: Mutex::new(()),
-                stats: GcStats::default(),
+                reloc_stripes,
+                stats,
+                stats_sink,
                 op_counter: std::sync::atomic::AtomicU64::new(0),
                 last_cycle_start: std::sync::atomic::AtomicU64::new(0),
             }),
@@ -194,8 +264,33 @@ impl DefragHeap {
     }
 
     /// Snapshot of GC phase statistics.
+    ///
+    /// Hot-path barrier counters batch inside each [`Ctx`] and reach the
+    /// shared stats on periodic flush, context drop, and cycle termination
+    /// — call [`DefragHeap::flush_stats`] on a live context first when the
+    /// snapshot must include its very latest activity.
     pub fn gc_stats(&self) -> GcStatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// Flushes `ctx`'s batched barrier counters into this heap's stats so a
+    /// subsequent [`DefragHeap::gc_stats`] snapshot includes them.
+    pub fn flush_stats(&self, ctx: &mut Ctx) {
+        ctx.ensure_counter_sink(&self.inner.stats_sink);
+        ctx.flush_counters();
+    }
+
+    /// Batches `n` into the Ctx-local counter for slot `idx` (see
+    /// [`gc_counter`]), installing this heap's stats as the sink.
+    #[inline]
+    fn bump(&self, ctx: &mut Ctx, idx: usize, n: u64) {
+        ctx.ensure_counter_sink(&self.inner.stats_sink);
+        ctx.bump_counter(idx, n);
+    }
+
+    /// Clones the active cycle's mirror handle (`None` outside a cycle).
+    pub(crate) fn mirror(&self) -> Option<Arc<CycleMirror>> {
+        self.inner.mirror.read().clone()
     }
 
     /// The GC metadata layout (benches and validators).
@@ -280,12 +375,9 @@ impl DefragHeap {
         let Some(frame) = layout.frame_of(off) else {
             return;
         };
-        let guard = self.inner.cycle.lock();
-        let Some(cs) = guard.as_ref() else { return };
-        for e in cs.entries.values() {
-            if e.dest_frame != frame {
-                continue;
-            }
+        let Some(m) = self.mirror() else { return };
+        for &rf in m.reloc_frames_into(frame) {
+            let e = m.entry(rf).expect("indexed frames have entries");
             let off_in_frame = off - layout.frame_start(frame);
             for (src_slot, dst_slot) in e.mappings() {
                 let dst_obj = dst_slot as u64 * SLOT_BYTES;
@@ -387,9 +479,7 @@ impl DefragHeap {
             // persist barrier — recovery redoes or undoes it from the PMFT.
             let t0 = ctx.cycles();
             self.engine().write_u64(ctx, slot_off, fwd.raw());
-            self.inner
-                .stats
-                .add_cycles(&self.inner.stats.ref_fixup_cycles, ctx.cycles() - t0);
+            self.bump(ctx, gc_counter::REF_FIXUP_CYCLES, ctx.cycles() - t0);
         }
         fwd
     }
@@ -401,7 +491,7 @@ impl DefragHeap {
             return ptr;
         }
         let inner = &*self.inner;
-        inner.stats.add_cycles(&inner.stats.barrier_invocations, 1);
+        self.bump(ctx, gc_counter::BARRIER_INVOCATIONS, 1);
         let hdr_off = ptr.offset() - OBJ_HEADER_BYTES;
         let Some(frame) = inner.pool.layout().frame_of(hdr_off) else {
             return ptr;
@@ -433,9 +523,7 @@ impl DefragHeap {
                 }
             }
         };
-        inner
-            .stats
-            .add_cycles(&inner.stats.check_lookup_cycles, ctx.cycles() - t0);
+        self.bump(ctx, gc_counter::CHECK_LOOKUP_CYCLES, ctx.cycles() - t0);
         let Some((dest_frame, dest_slot)) = fwd else {
             return ptr;
         };
@@ -459,21 +547,19 @@ impl DefragHeap {
         let inner = &*self.inner;
         let t0 = ctx.cycles();
         if self.read_moved(ctx, frame, slot) {
-            inner
-                .stats
-                .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            self.bump(ctx, gc_counter::STATE_CYCLES, ctx.cycles() - t0);
             return;
         }
-        let _g = inner.reloc_lock.lock();
+        // §4.5 per-object critical section: the stripe covering this
+        // object's moved-bitmap byte. Distinct objects (on other stripes)
+        // relocate in parallel; the double-checked moved bit below keeps
+        // first-touch relocation exactly-once per object.
+        let _g = inner.reloc_stripes[self.stripe_of(frame, slot)].lock();
         if self.read_moved(ctx, frame, slot) {
-            inner
-                .stats
-                .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+            self.bump(ctx, gc_counter::STATE_CYCLES, ctx.cycles() - t0);
             return;
         }
-        inner
-            .stats
-            .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t0);
+        self.bump(ctx, gc_counter::STATE_CYCLES, ctx.cycles() - t0);
 
         let src = inner.pool.layout().frame_start(frame) + slot as u64 * SLOT_BYTES;
         let dst = inner.pool.layout().frame_start(dest_frame) + dest_slot as u64 * SLOT_BYTES;
@@ -506,30 +592,34 @@ impl DefragHeap {
                 ffccd_arch::relocate(ctx, self.engine(), src, dst, total);
             }
         }
-        inner
-            .stats
-            .add_cycles(&inner.stats.copy_cycles, ctx.cycles() - t1);
+        self.bump(ctx, gc_counter::COPY_CYCLES, ctx.cycles() - t1);
 
         // 4. moved[x] = 1 — persistence again differs per scheme.
         let t2 = ctx.cycles();
         self.write_moved(ctx, frame, slot);
-        inner
-            .stats
-            .add_cycles(&inner.stats.state_cycles, ctx.cycles() - t2);
-        inner.stats.add_cycles(&inner.stats.objects_relocated, 1);
+        self.bump(ctx, gc_counter::STATE_CYCLES, ctx.cycles() - t2);
+        self.bump(ctx, gc_counter::OBJECTS_RELOCATED, 1);
 
         // Progressive release (§5): once every object of the source frame
         // has moved, the frame stops counting toward the footprint — the
-        // frame itself is recycled at termination.
-        let mut guard = inner.cycle.lock();
-        if let Some(cs) = guard.as_mut() {
-            if let Some(rem) = cs.remaining.get_mut(&frame) {
-                *rem = rem.saturating_sub(1);
-                if *rem == 0 {
-                    inner.pool.evacuate_frame(frame);
-                }
+        // frame itself is recycled at termination. The count lives in the
+        // mirror (atomic), so no cycle-mutex round trip on the hot path.
+        if let Some(m) = self.mirror() {
+            if m.note_moved(frame) {
+                inner.pool.evacuate_frame(frame);
             }
         }
+    }
+
+    /// Relocation-lock stripe for the object at `(frame, slot)`, keyed by
+    /// the object's moved-bitmap *byte* so the byte's read-modify-write in
+    /// [`DefragHeap::write_moved`] stays exclusive.
+    fn stripe_of(&self, frame: u64, slot: usize) -> usize {
+        let n = self.inner.reloc_stripes.len() as u64;
+        let key = frame
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((slot as u64 / 8).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        (key % n) as usize
     }
 
     /// Reads the moved bit for (frame, slot).

@@ -1,14 +1,15 @@
 //! Defragmentation phases: marking, sweep, summary, compaction, termination
 //! (paper §3.3.1 and §5).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use ffccd_arch::PmftEntry;
 use ffccd_pmem::Ctx;
 use ffccd_pmop::{FrameKind, PmPtr, FRAME_BYTES, OBJ_HEADER_BYTES, SLOT_BYTES};
 
-use crate::heap::{CycleState, DefragHeap};
+use crate::heap::{CycleMirror, CycleState, DefragHeap};
 use crate::walk::walk_refs;
 
 /// Compacting no more than this fraction of a page's capacity is worthwhile;
@@ -208,9 +209,9 @@ impl DefragHeap {
         let engine = self.engine();
         let mut reloc_frames = Vec::new();
         let mut dest_frames: Vec<u64> = Vec::new();
-        let mut entries: HashMap<u64, PmftEntry> = HashMap::new();
+        // (frame, entry, object count) triples feeding the cycle mirror.
+        let mut mirror_items: Vec<(u64, PmftEntry, usize)> = Vec::new();
         let mut pending: VecDeque<(u64, usize)> = VecDeque::new();
-        let mut remaining: HashMap<u64, usize> = HashMap::new();
         let mut cur_dest: Option<(u64, usize)> = None;
         'pages: for c in &selected {
             for &frame in &c.frames {
@@ -275,8 +276,7 @@ impl DefragHeap {
                 engine.write(ctx, fb, &[byte]);
                 engine.persist(ctx, fb, 1);
                 pool.set_frame_kind(frame, FrameKind::Relocation);
-                remaining.insert(frame, objs.len());
-                entries.insert(frame, entry);
+                mirror_items.push((frame, entry, objs.len()));
                 reloc_frames.push(frame);
             }
         }
@@ -305,12 +305,16 @@ impl DefragHeap {
         if let Some(clu) = &inner.clu {
             clu.begin_cycle(engine, pool.base(), &reloc_frames);
         }
+        // Mirror first, then cycle state, then the in_cycle gate barrier
+        // paths key on — so any thread seeing the cycle sees the mirror.
+        *inner.mirror.write() = Some(Arc::new(CycleMirror::new(
+            layout.num_frames as usize,
+            mirror_items,
+        )));
         *inner.cycle.lock() = Some(CycleState {
             reloc_frames,
             dest_frames,
-            entries,
             pending,
-            remaining,
         });
         inner.in_cycle.store(true, Ordering::Release);
         inner.last_cycle_start.store(
@@ -330,6 +334,11 @@ impl DefragHeap {
         }
         {
             let _g = self.inner.world.read();
+            // Entry lookups come from the lock-free mirror snapshot; the
+            // cycle mutex is held only to pop the work item.
+            let Some(mirror) = self.mirror() else {
+                return false;
+            };
             for _ in 0..budget {
                 let item = {
                     let mut guard = self.inner.cycle.lock();
@@ -337,20 +346,14 @@ impl DefragHeap {
                         return false;
                     };
                     match cs.pending.pop_front() {
-                        Some((frame, slot)) => {
-                            let e = cs.entries.get(&frame).expect("entry for pending frame");
-                            (
-                                frame,
-                                slot,
-                                e.dest_frame,
-                                e.lookup(slot).expect("mapped slot"),
-                            )
-                        }
+                        Some(it) => it,
                         None => break,
                     }
                 };
-                let (frame, slot, dframe, dslot) = item;
-                self.ensure_relocated(ctx, frame, slot, dframe, dslot);
+                let (frame, slot) = item;
+                let e = mirror.entry(frame).expect("entry for pending frame");
+                let dslot = e.lookup(slot).expect("mapped slot");
+                self.ensure_relocated(ctx, frame, slot, e.dest_frame, dslot);
             }
         }
         let remaining = self
@@ -379,13 +382,21 @@ impl DefragHeap {
         let Some(cs) = inner.cycle.lock().take() else {
             return;
         };
+        // Take the mirror down with the cycle state: relocations below run
+        // with progressive release already over (the frames are torn down
+        // wholesale in step 4), matching the pre-mirror behaviour.
+        let mirror = inner
+            .mirror
+            .write()
+            .take()
+            .expect("mirror exists while a cycle is active");
         let engine = self.engine();
         engine.note_phase_site(phase_sites::TERMINATE_BEGIN);
         let layout = *inner.pool.layout();
 
         // 1. finish pending relocations.
         for &(frame, slot) in cs.pending.iter() {
-            let e = cs.entries.get(&frame).expect("entry for pending frame");
+            let e = mirror.entry(frame).expect("entry for pending frame");
             let d = e.lookup(slot).expect("mapped slot");
             self.ensure_relocated(ctx, frame, slot, e.dest_frame, d);
         }
@@ -408,7 +419,7 @@ impl DefragHeap {
         let dest_set: HashSet<u64> = cs.dest_frames.iter().copied().collect();
         {
             let engine2 = engine.clone();
-            let entries = &cs.entries;
+            let entries = &mirror;
             let me = self.clone();
             walk_refs(
                 ctx,
@@ -423,7 +434,7 @@ impl DefragHeap {
                     let frame = layout.frame_of(hdr)?;
                     if reloc_set.contains(&frame) {
                         let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
-                        let e = entries.get(&frame)?;
+                        let e = entries.entry(frame)?;
                         let d = e.lookup(slot)?;
                         let new = me.dest_ptr(e, d);
                         engine2.write_u64(ctx, slot_off, new.raw());
@@ -488,6 +499,9 @@ impl DefragHeap {
         }
         inner.in_cycle.store(false, Ordering::Release);
         inner.stats.add_cycles(&inner.stats.cycles_completed, 1);
+        // Terminating is a natural synchronization point: make this
+        // context's batched barrier counters visible in the shared stats.
+        self.flush_stats(ctx);
         engine.note_phase_site(phase_sites::TERMINATE_END);
     }
 
@@ -495,6 +509,7 @@ impl DefragHeap {
     /// related metadata.
     pub fn exit(&self, ctx: &mut Ctx) {
         self.finish_cycle(ctx);
+        self.flush_stats(ctx);
     }
 }
 

@@ -1,0 +1,182 @@
+//! Conservation of the Ctx-batched GC counters.
+//!
+//! The barrier-path counters (`barrier_invocations`, `check_lookup_cycles`,
+//! `state_cycles`, `copy_cycles`, `ref_fixup_cycles`, `objects_relocated`)
+//! batch in the thread's `Ctx` and flush into the shared `GcStats` every
+//! N bumps. Flushing every single bump is exactly the old shared-atomic
+//! behaviour, so a deterministic run must produce byte-identical GcStats
+//! totals at every batching granularity.
+
+use ffccd::{DefragConfig, DefragHeap, GcStatsSnapshot, Scheme};
+use ffccd_pmem::{Ctx, MachineConfig};
+use ffccd_pmop::{PoolConfig, TypeDesc, TypeRegistry};
+
+const NODE_SIZE: u64 = 128;
+const NEXT_OFF: u64 = 120;
+const VAL_OFF: u64 = 0;
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.register(TypeDesc::new("node", NODE_SIZE as u32, &[NEXT_OFF as u32]));
+    reg
+}
+
+fn walk(heap: &DefragHeap, ctx: &mut Ctx) -> u64 {
+    let mut count = 0;
+    let mut cur = heap.root(ctx);
+    while !cur.is_null() {
+        count += 1;
+        cur = heap.load_ref(ctx, cur, NEXT_OFF);
+    }
+    count
+}
+
+/// A deterministic fragment-then-compact run whose barriers interleave
+/// with compaction steps; returns the final GC totals.
+fn run_once(scheme: Scheme, flush_every: Option<u32>) -> GcStatsSnapshot {
+    let heap = DefragHeap::create(
+        PoolConfig {
+            data_bytes: 2 << 20,
+            os_page_size: 4096,
+            machine: MachineConfig {
+                seed: 7,
+                ..MachineConfig::default()
+            },
+        },
+        registry(),
+        DefragConfig {
+            min_live_bytes: 1 << 12,
+            ..DefragConfig::normal(scheme)
+        },
+    )
+    .expect("create heap");
+    let mut ctx = heap.ctx();
+    if let Some(n) = flush_every {
+        ctx.set_counter_flush_every(n);
+    }
+    // Fragment: 600 nodes, keep every 5th.
+    for i in 0..600u64 {
+        let node = heap
+            .alloc(&mut ctx, ffccd_pmop::TypeId(0), NODE_SIZE)
+            .expect("alloc");
+        heap.write_u64(&mut ctx, node, VAL_OFF, i);
+        let head = heap.root(&mut ctx);
+        heap.store_ref(&mut ctx, node, NEXT_OFF, head);
+        heap.persist(&mut ctx, node, 0, NODE_SIZE);
+        heap.set_root(&mut ctx, node);
+    }
+    let mut prev = ffccd_pmop::PmPtr::NULL;
+    let mut cur = heap.root(&mut ctx);
+    let mut idx = 0u64;
+    while !cur.is_null() {
+        let next = heap.load_ref(&mut ctx, cur, NEXT_OFF);
+        if !idx.is_multiple_of(5) {
+            if prev.is_null() {
+                heap.set_root(&mut ctx, next);
+            } else {
+                heap.store_ref(&mut ctx, prev, NEXT_OFF, next);
+            }
+            heap.free(&mut ctx, cur).expect("free");
+        } else {
+            prev = cur;
+        }
+        idx += 1;
+        cur = next;
+    }
+    // Compact with barrier walks interleaved between batches, so both
+    // first-touch relocations (in the walks) and driver relocations (in
+    // the steps) contribute counters.
+    assert!(heap.defrag_now(&mut ctx), "cycle must arm");
+    while heap.step_compaction(&mut ctx, 4) {
+        walk(&heap, &mut ctx);
+    }
+    heap.exit(&mut ctx);
+    heap.flush_stats(&mut ctx);
+    heap.gc_stats()
+}
+
+#[test]
+fn batched_counters_conserve_totals() {
+    for scheme in [Scheme::Sfccd, Scheme::FfccdCheckLookup] {
+        let unbatched = run_once(scheme, Some(1));
+        let default_batch = run_once(scheme, None);
+        let coarse = run_once(scheme, Some(1 << 20));
+        assert_eq!(
+            unbatched, default_batch,
+            "{scheme}: flush_every=1 vs default"
+        );
+        assert_eq!(
+            unbatched, coarse,
+            "{scheme}: flush_every=1 vs one giant batch"
+        );
+        assert!(
+            unbatched.barrier_invocations > 0,
+            "{scheme}: barriers must fire"
+        );
+        assert!(
+            unbatched.objects_relocated > 0,
+            "{scheme}: relocations must happen"
+        );
+    }
+}
+
+#[test]
+fn drop_flushes_pending_counters() {
+    // Counters bumped through a ctx that is dropped (not explicitly
+    // flushed) must still land: thread teardown in the mt driver relies
+    // on the Drop impl.
+    let heap = DefragHeap::create(
+        PoolConfig {
+            data_bytes: 2 << 20,
+            os_page_size: 4096,
+            machine: MachineConfig {
+                seed: 9,
+                ..MachineConfig::default()
+            },
+        },
+        registry(),
+        DefragConfig {
+            min_live_bytes: 1 << 12,
+            ..DefragConfig::normal(Scheme::FfccdFenceFree)
+        },
+    )
+    .expect("create heap");
+    {
+        let mut ctx = heap.ctx();
+        for i in 0..600u64 {
+            let node = heap
+                .alloc(&mut ctx, ffccd_pmop::TypeId(0), NODE_SIZE)
+                .expect("alloc");
+            heap.write_u64(&mut ctx, node, VAL_OFF, i);
+            let head = heap.root(&mut ctx);
+            heap.store_ref(&mut ctx, node, NEXT_OFF, head);
+            heap.persist(&mut ctx, node, 0, NODE_SIZE);
+            heap.set_root(&mut ctx, node);
+        }
+        let mut prev = ffccd_pmop::PmPtr::NULL;
+        let mut cur = heap.root(&mut ctx);
+        let mut idx = 0u64;
+        while !cur.is_null() {
+            let next = heap.load_ref(&mut ctx, cur, NEXT_OFF);
+            if !idx.is_multiple_of(5) {
+                if prev.is_null() {
+                    heap.set_root(&mut ctx, next);
+                } else {
+                    heap.store_ref(&mut ctx, prev, NEXT_OFF, next);
+                }
+                heap.free(&mut ctx, cur).expect("free");
+            } else {
+                prev = cur;
+            }
+            idx += 1;
+            cur = next;
+        }
+        assert!(heap.defrag_now(&mut ctx), "cycle must arm");
+        walk(&heap, &mut ctx); // first-touch barriers bump batched counters
+                               // ctx dropped here with pending deltas.
+    }
+    assert!(
+        heap.gc_stats().barrier_invocations > 0,
+        "Drop must flush batched counters"
+    );
+}

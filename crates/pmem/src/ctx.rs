@@ -1,5 +1,7 @@
 //! Per-thread execution context: cycle counter, stats, private TLB.
 
+use std::sync::Arc;
+
 use crate::cache::Evicted;
 use crate::stats::ThreadStats;
 use crate::timing::MachineConfig;
@@ -8,6 +10,24 @@ use crate::tlb::Tlb;
 /// Upper bound on pooled scratch buffers kept per context; past this,
 /// returned buffers are simply dropped.
 const BUF_POOL_CAP: usize = 8;
+
+/// Number of batched counter slots a [`CounterSink`] flush carries.
+pub const COUNTER_SLOTS: usize = 8;
+
+/// Bumps between automatic counter flushes (see [`Ctx::bump_counter`]).
+const DEFAULT_FLUSH_EVERY: u32 = 64;
+
+/// Receives batched counter deltas from a [`Ctx`].
+///
+/// Hot paths that used to do a shared-atomic RMW per event instead bump a
+/// thread-local slot ([`Ctx::bump_counter`]) and flush the accumulated
+/// deltas here periodically, on context drop, and at explicit
+/// synchronization points. The sink assigns its own meaning to each slot
+/// index; unused slots stay zero.
+pub trait CounterSink: Send + Sync {
+    /// Adds each `deltas[i]` into the sink's counter `i`.
+    fn flush_deltas(&self, deltas: &[u64; COUNTER_SLOTS]);
+}
 
 /// Execution context for one simulated hardware thread (core).
 ///
@@ -25,7 +45,6 @@ const BUF_POOL_CAP: usize = 8;
 /// ctx.charge(50);
 /// assert_eq!(ctx.cycles() - t0, 50);
 /// ```
-#[derive(Debug)]
 pub struct Ctx {
     cycles: u64,
     /// Event counters for this thread.
@@ -51,6 +70,24 @@ pub struct Ctx {
     pub(crate) evict_scratch: Vec<Evicted>,
     /// Pooled byte buffers for [`take_buf`](Ctx::take_buf)/[`put_buf`](Ctx::put_buf).
     buf_pool: Vec<Vec<u8>>,
+    /// Destination of batched counters (see [`CounterSink`]).
+    sink: Option<Arc<dyn CounterSink>>,
+    /// Thread-local counter deltas not yet pushed to the sink.
+    pending_counters: [u64; COUNTER_SLOTS],
+    /// Bumps since the last flush; at `flush_every` the deltas are pushed.
+    pending_bumps: u32,
+    flush_every: u32,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("cycles", &self.cycles)
+            .field("stats", &self.stats)
+            .field("unfenced_clwbs", &self.unfenced_clwbs)
+            .field("pending_counters", &self.pending_counters)
+            .finish_non_exhaustive()
+    }
 }
 
 static NEXT_TAG: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -67,7 +104,54 @@ impl Ctx {
             dirty_banks: 0,
             evict_scratch: Vec::new(),
             buf_pool: Vec::new(),
+            sink: None,
+            pending_counters: [0; COUNTER_SLOTS],
+            pending_bumps: 0,
+            flush_every: DEFAULT_FLUSH_EVERY,
         }
+    }
+
+    /// Installs `sink` as the receiver of this context's batched counters.
+    /// Cheap when `sink` is already installed (one pointer compare); on a
+    /// switch, deltas pending for the previous sink are flushed first.
+    pub fn ensure_counter_sink(&mut self, sink: &Arc<dyn CounterSink>) {
+        let same = self.sink.as_ref().is_some_and(|s| Arc::ptr_eq(s, sink));
+        if !same {
+            self.flush_counters();
+            self.sink = Some(sink.clone());
+        }
+    }
+
+    /// Adds `n` to batched counter slot `idx`; the accumulated deltas reach
+    /// the sink every `flush_every` bumps (and on drop), turning per-event
+    /// shared-atomic RMWs into rare batched ones.
+    #[inline]
+    pub fn bump_counter(&mut self, idx: usize, n: u64) {
+        self.pending_counters[idx] += n;
+        self.pending_bumps += 1;
+        if self.pending_bumps >= self.flush_every {
+            self.flush_counters();
+        }
+    }
+
+    /// Pushes all pending counter deltas to the installed sink. With no
+    /// sink installed, deltas keep accumulating until one is.
+    pub fn flush_counters(&mut self) {
+        self.pending_bumps = 0;
+        if self.pending_counters.iter().all(|&d| d == 0) {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            sink.flush_deltas(&self.pending_counters);
+            self.pending_counters = [0; COUNTER_SLOTS];
+        }
+    }
+
+    /// Sets the batched-bump count between automatic flushes (min 1; a
+    /// value of 1 flushes on every bump, reproducing the per-event
+    /// shared-atomic update pattern exactly).
+    pub fn set_counter_flush_every(&mut self, n: u32) {
+        self.flush_every = n.max(1);
     }
 
     /// Borrows a zeroed scratch buffer of `len` bytes from this context's
@@ -100,6 +184,12 @@ impl Ctx {
     }
 }
 
+impl Drop for Ctx {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +216,71 @@ mod tests {
         assert_eq!(b2.len(), 64);
         assert_eq!(b2[0], 0);
         assert!(b2.capacity() >= cap.min(64));
+    }
+
+    #[derive(Default)]
+    struct VecSink {
+        totals: std::sync::Mutex<[u64; COUNTER_SLOTS]>,
+        flushes: std::sync::atomic::AtomicU64,
+    }
+
+    impl CounterSink for VecSink {
+        fn flush_deltas(&self, deltas: &[u64; COUNTER_SLOTS]) {
+            let mut t = self.totals.lock().unwrap();
+            for (slot, d) in t.iter_mut().zip(deltas) {
+                *slot += d;
+            }
+            self.flushes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn counters_batch_and_flush_on_drop() {
+        let sink: Arc<VecSink> = Arc::new(VecSink::default());
+        let dynsink: Arc<dyn CounterSink> = sink.clone();
+        {
+            let mut ctx = Ctx::new(&MachineConfig::default());
+            ctx.ensure_counter_sink(&dynsink);
+            for _ in 0..10 {
+                ctx.bump_counter(2, 3);
+            }
+            // Below the default threshold: nothing reached the sink yet.
+            assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 0);
+        }
+        // Drop flushed the remainder.
+        assert_eq!(sink.totals.lock().unwrap()[2], 30);
+    }
+
+    #[test]
+    fn flush_every_one_flushes_each_bump() {
+        let sink: Arc<VecSink> = Arc::new(VecSink::default());
+        let dynsink: Arc<dyn CounterSink> = sink.clone();
+        let mut ctx = Ctx::new(&MachineConfig::default());
+        ctx.ensure_counter_sink(&dynsink);
+        ctx.set_counter_flush_every(1);
+        ctx.bump_counter(0, 1);
+        ctx.bump_counter(1, 5);
+        assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(sink.totals.lock().unwrap()[..2], [1, 5]);
+    }
+
+    #[test]
+    fn sink_switch_flushes_pending_to_old_sink() {
+        let a: Arc<VecSink> = Arc::new(VecSink::default());
+        let b: Arc<VecSink> = Arc::new(VecSink::default());
+        let dyn_a: Arc<dyn CounterSink> = a.clone();
+        let dyn_b: Arc<dyn CounterSink> = b.clone();
+        let mut ctx = Ctx::new(&MachineConfig::default());
+        ctx.ensure_counter_sink(&dyn_a);
+        ctx.bump_counter(0, 7);
+        // Re-ensuring the same sink is a no-op (no flush).
+        ctx.ensure_counter_sink(&dyn_a);
+        assert_eq!(a.flushes.load(std::sync::atomic::Ordering::Relaxed), 0);
+        ctx.ensure_counter_sink(&dyn_b);
+        assert_eq!(a.totals.lock().unwrap()[0], 7);
+        ctx.bump_counter(0, 2);
+        drop(ctx);
+        assert_eq!(b.totals.lock().unwrap()[0], 2);
     }
 }

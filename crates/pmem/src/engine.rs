@@ -5,7 +5,11 @@
 //! The engine is **banked**: cache set-state, WPQ accounting, the in-flight
 //! writeback stage and the eviction RNG are sharded into
 //! [`MachineConfig::resolved_banks`] banks, indexed by cacheline number, each
-//! behind its own lock. Media stays behind a single `RwLock` — the
+//! behind its own reader-writer lock. Writes, fills and evictions take a
+//! bank exclusively; clean resident-line *reads* — the read barrier's
+//! dominant case — are served under a **shared** bank acquisition
+//! ([`MachineConfig::shared_reads`], multi-bank engines only), falling back
+//! to the exclusive path on a miss. Media stays behind a single `RwLock` — the
 //! persistence observer (FFCCD's Reached Bitmap Buffer) reads and writes
 //! reached-bitmap words at arbitrary media offsets when a pending line
 //! drains, so line-sharding media would force cross-bank locking on every
@@ -26,7 +30,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use crate::addr::{line_of, lines_spanning, Line, CACHELINE_BYTES};
 use crate::cache::{CacheSim, Evicted};
@@ -106,7 +110,7 @@ struct Shared {
 /// the persist-ordering window the §3.3 schemes differ on.
 #[derive(Clone)]
 pub struct PmEngine {
-    banks: Arc<[Mutex<Bank>]>,
+    banks: Arc<[RwLock<Bank>]>,
     shared: Arc<Shared>,
     cfg: Arc<MachineConfig>,
     nbanks: usize,
@@ -136,9 +140,9 @@ impl PmEngine {
     /// Creates an engine over existing media (post-crash restart).
     pub fn from_media(cfg: MachineConfig, media: Media) -> Self {
         let nbanks = cfg.resolved_banks();
-        let banks: Vec<Mutex<Bank>> = (0..nbanks)
+        let banks: Vec<RwLock<Bank>> = (0..nbanks)
             .map(|b| {
-                Mutex::new(Bank {
+                RwLock::new(Bank {
                     cache: CacheSim::new(
                         (cfg.cache_capacity_lines / nbanks).max(1),
                         (cfg.seed ^ 0xcafe) ^ bank_salt(b),
@@ -225,8 +229,18 @@ impl PmEngine {
     /// misses.
     pub fn read(&self, ctx: &mut Ctx, off: u64, buf: &mut [u8]) {
         ctx.stats.loads += 1;
+        // Lock-light fast path: with no clwb issued since this core's last
+        // sfence (`dirty_banks == 0`), the per-op in-flight retirement is a
+        // guaranteed no-op, so clean resident lines can be read under a
+        // shared bank lock. Restricted to multi-bank engines: the
+        // single-bank deterministic mode keeps the one-lock-end-to-end
+        // event order crash-site tracking replays against.
+        if self.nbanks > 1 && ctx.dirty_banks == 0 && self.cfg.shared_reads {
+            self.read_shared(ctx, off, buf);
+            return;
+        }
         let mut cur = self.bank_of(line_of(off));
-        let mut bank = self.banks[cur].lock();
+        let mut bank = self.banks[cur].write();
         // One outstanding writeback retires per memory operation (the WPQ
         // accepts lines while the core does other work).
         bank.retire_one_inflight(self, cur, ctx);
@@ -239,7 +253,7 @@ impl PmEngine {
             if bi != cur {
                 drop(bank);
                 cur = bi;
-                bank = self.banks[cur].lock();
+                bank = self.banks[cur].write();
             }
             let start = off.max(line.start());
             let end = (off + buf.len() as u64).min(line.end());
@@ -249,6 +263,44 @@ impl PmEngine {
             bank.cache
                 .read_resident(line, within, &mut buf[cursor..cursor + len]);
             cursor += len;
+        }
+    }
+
+    /// The shared-acquisition read path. Cycle charges and hit/miss
+    /// classification are identical to the exclusive path — reads have no
+    /// site events, background eviction or drain progress, and with
+    /// `ctx.dirty_banks == 0` the skipped `retire_one_inflight` could not
+    /// have retired anything — only the host-side locking differs: a line
+    /// resident at lock time is read under the shared guard, and only a
+    /// miss upgrades to the exclusive guard for the fill.
+    fn read_shared(&self, ctx: &mut Ctx, off: u64, buf: &mut [u8]) {
+        let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
+        ctx.charge(tlb_cost);
+        let mut cursor = 0usize;
+        let mut missed = false;
+        for line in lines_spanning(off, buf.len() as u64) {
+            let bi = self.bank_of(line);
+            let start = off.max(line.start());
+            let end = (off + buf.len() as u64).min(line.end());
+            let within = (start - line.start()) as usize;
+            let len = (end - start) as usize;
+            let dst = &mut buf[cursor..cursor + len];
+            cursor += len;
+            let bank = self.banks[bi].read();
+            if bank.cache.contains(line) {
+                ctx.stats.cache_hits += 1;
+                ctx.stats.shared_line_reads += 1;
+                ctx.charge(self.cfg.cache_hit_latency);
+                bank.cache.read_resident(line, within, dst);
+                continue;
+            }
+            drop(bank);
+            // Miss: upgrade to the exclusive path for the fill. If another
+            // thread filled the line in the unlocked window, `access_line`
+            // re-checks residency and correctly classifies a hit.
+            let mut bank = self.banks[bi].write();
+            bank.access_line(self, bi, ctx, line, false, &mut missed);
+            bank.cache.read_resident(line, within, dst);
         }
     }
 
@@ -301,7 +353,7 @@ impl PmEngine {
         ctx.stats.stores += 1;
         let first_bank = self.bank_of(line_of(off));
         let mut cur = first_bank;
-        let mut bank = self.banks[cur].lock();
+        let mut bank = self.banks[cur].write();
         bank.retire_one_inflight(self, cur, ctx);
         let tlb_cost = ctx.tlb.access(off, &mut ctx.stats);
         ctx.charge(tlb_cost);
@@ -312,7 +364,7 @@ impl PmEngine {
             if bi != cur {
                 drop(bank);
                 cur = bi;
-                bank = self.banks[cur].lock();
+                bank = self.banks[cur].write();
             }
             let start = off.max(line.start());
             let end = (off + data.len() as u64).min(line.end());
@@ -326,7 +378,7 @@ impl PmEngine {
         if cur != first_bank {
             drop(bank);
             cur = first_bank;
-            bank = self.banks[cur].lock();
+            bank = self.banks[cur].write();
         }
         bank.site_event(
             self,
@@ -352,7 +404,7 @@ impl PmEngine {
         ctx.charge(self.cfg.clwb_cost);
         let line = line_of(off);
         let bi = self.bank_of(line);
-        let mut bank = self.banks[bi].lock();
+        let mut bank = self.banks[bi].write();
         if let Some(ev) = bank.cache.clean(line) {
             debug_assert!(ev.dirty);
             ctx.unfenced_clwbs += 1;
@@ -396,7 +448,7 @@ impl PmEngine {
             if mask & (1u64 << bi) == 0 {
                 continue;
             }
-            let mut bank = self.banks[bi].lock();
+            let mut bank = self.banks[bi].write();
             bank.drain_own_inflight(self, bi, ctx);
             if bi == 0 {
                 bank.site_event(self, SiteKind::Sfence, 0);
@@ -425,7 +477,8 @@ impl PmEngine {
     /// Locks all banks (ascending index) for the duration, so the image is
     /// a consistent cut even against concurrent accessors.
     pub fn crash_image(&self) -> CrashImage {
-        let guards: Vec<MutexGuard<'_, Bank>> = self.banks.iter().map(|b| b.lock()).collect();
+        let guards: Vec<RwLockWriteGuard<'_, Bank>> =
+            self.banks.iter().map(|b| b.write()).collect();
         let mut media = self.shared.media.read().clone();
         let mut pending_lines = Vec::new();
         for g in guards.iter() {
@@ -497,7 +550,7 @@ impl PmEngine {
             return;
         }
         // Tracking implies deterministic mode, so bank 0 is the only bank.
-        let bank = self.banks[0].lock();
+        let bank = self.banks[0].write();
         bank.site_event(self, SiteKind::Phase, code);
     }
 
@@ -525,7 +578,7 @@ impl PmEngine {
             let end = (off + len).min(line.end());
             let within = (start - line.start()) as usize;
             let n = (end - start) as usize;
-            let bank = self.banks[self.bank_of(line)].lock();
+            let bank = self.banks[self.bank_of(line)].read();
             let data: [u8; CACHELINE_BYTES as usize] = if let Some(cl) = bank.cache.peek(line) {
                 cl.data
             } else if let Some((_, e)) = bank.inflight.iter().rev().find(|(_, e)| e.line == line) {
@@ -1100,6 +1153,54 @@ mod banked_tests {
     #[should_panic(expected = "deterministic single-bank")]
     fn site_tracking_rejects_banked_engine() {
         engine_with(8).site_tracking_enumerate();
+    }
+
+    /// The shared-read fast path must charge exactly the cycles (and count
+    /// exactly the hits/misses) the exclusive path does, only taking shared
+    /// instead of exclusive bank locks — and it must actually engage.
+    #[test]
+    fn shared_read_path_matches_exclusive_accounting() {
+        let run = |shared: bool| {
+            let cfg = MachineConfig {
+                banks: 8,
+                shared_reads: shared,
+                ..MachineConfig::default()
+            };
+            let e = PmEngine::new(cfg, 1 << 20);
+            let mut ctx = Ctx::new(e.config());
+            let data: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+            e.write(&mut ctx, 0, &data);
+            e.persist(&mut ctx, 0, 4096);
+            let c0 = ctx.cycles();
+            let s0 = ctx.stats;
+            // Resident re-reads (hits) plus a cold region (misses), with
+            // reads spanning line boundaries.
+            let mut buf = vec![0u8; 300];
+            for i in 0..32u64 {
+                e.read(&mut ctx, i * 100, &mut buf);
+            }
+            for i in 0..8u64 {
+                e.read(&mut ctx, 512 * 1024 + i * 300, &mut buf);
+            }
+            assert_eq!(&buf[..4], &[0u8; 4], "cold region reads back zeroes");
+            let mut s = ctx.stats;
+            let cycles = ctx.cycles() - c0;
+            s.cache_hits -= s0.cache_hits;
+            s.cache_misses -= s0.cache_misses;
+            let shared_lines = s.shared_line_reads;
+            s.shared_line_reads = 0;
+            (cycles, s.cache_hits, s.cache_misses, shared_lines)
+        };
+        let (cy_ex, hit_ex, miss_ex, shared_ex) = run(false);
+        let (cy_sh, hit_sh, miss_sh, shared_sh) = run(true);
+        assert_eq!(cy_ex, cy_sh, "cycle charges must not depend on lock mode");
+        assert_eq!(hit_ex, hit_sh);
+        assert_eq!(miss_ex, miss_sh);
+        assert_eq!(shared_ex, 0, "exclusive mode never counts shared reads");
+        assert!(
+            shared_sh > 0,
+            "the fast path must engage on resident re-reads"
+        );
     }
 
     #[test]

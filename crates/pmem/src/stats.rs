@@ -32,6 +32,10 @@ pub struct ThreadStats {
     pub relocates: u64,
     /// `checklookup` instructions issued (FFCCD hardware).
     pub checklookups: u64,
+    /// Cache-hit line reads served under a *shared* bank acquisition (the
+    /// lock-light read fast path); a subset of `cache_hits`. Purely a
+    /// host-side contention metric — it never affects cycle accounting.
+    pub shared_line_reads: u64,
 }
 
 impl ThreadStats {
@@ -49,6 +53,7 @@ impl ThreadStats {
         self.tlb_misses += other.tlb_misses;
         self.relocates += other.relocates;
         self.checklookups += other.checklookups;
+        self.shared_line_reads += other.shared_line_reads;
     }
 }
 

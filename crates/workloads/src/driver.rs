@@ -182,8 +182,8 @@ pub fn run_mt_on(
     heap: &DefragHeap,
     op_progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 ) -> RunResult {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Mutex};
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Condvar, Mutex};
 
     let heap = heap.clone();
     let name = workload.name().to_owned();
@@ -198,8 +198,10 @@ pub fn run_mt_on(
     // mutex lets one thread run its whole slice before the others start,
     // which would serialize the "concurrent" phases. Turn-taking keeps the
     // aggregate live-set shape identical to the single-threaded mix and
-    // makes the interleaving reproducible.
-    let turn = Arc::new(AtomicUsize::new(0));
+    // makes the interleaving reproducible. Waiters park on a condvar
+    // instead of spinning — with more threads than cores a spin-waiter
+    // burns the turn-holder's quantum, so oversubscribed runs crawled.
+    let turn = Arc::new((Mutex::new(0usize), Condvar::new()));
     let per_thread_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) / threads;
     let mut handles = Vec::new();
     for tid in 0..threads {
@@ -221,21 +223,22 @@ pub fn run_mt_on(
             let total = (mix.init + mix.phase_ops * mix.phases).max(1);
             let mut op = 0usize;
             while op < per_thread_ops {
-                // Wait for this thread's turn (round-robin).
-                let mut spins = 0u32;
-                while turn.load(Ordering::Acquire) % threads != tid {
-                    spins += 1;
-                    if spins.is_multiple_of(64) {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
+                // Wait for this thread's turn (round-robin), parked on the
+                // condvar. The guard is held through the whole op so the
+                // global op counter doubles as the serialization point.
+                let (lock, cv) = &*turn;
+                let mut t = lock.lock().expect("turn lock");
+                while *t % threads != tid {
+                    t = cv.wait(t).expect("turn lock");
                 }
-                // Thread 0 doubles as the sampler, on its own op cadence.
-                if tid == 0 && op.is_multiple_of(sample_every) {
+                // Whichever thread owns the turn samples, on the *global*
+                // op cadence. Pinning sampling to thread 0's local cadence
+                // stretched only thread 0's turn window, skewing its share
+                // of the interleaving.
+                if (*t).is_multiple_of(sample_every * threads) {
                     let st = heap.pool().stats();
                     samples.lock().expect("samples lock").push(Sample {
-                        op: op as u64,
+                        op: *t as u64,
                         footprint: st.footprint_bytes,
                         live: st.live_bytes,
                     });
@@ -276,8 +279,13 @@ pub fn run_mt_on(
                 if let Some(p) = &op_progress {
                     p.fetch_add(1, Ordering::Release);
                 }
-                turn.fetch_add(1, Ordering::Release);
+                *t += 1;
+                cv.notify_all();
             }
+            // Push any batched barrier counters into the shared GcStats
+            // before the main thread snapshots it.
+            heap.flush_stats(&mut ctx);
+            heap.flush_stats(&mut gc_ctx);
             (ctx.cycles(), gc_ctx.cycles(), live)
         }));
     }
@@ -449,8 +457,11 @@ pub fn run_on(
         }
     }
 
-    // Wind down: let any in-flight cycle terminate (exit(), §5).
+    // Wind down: let any in-flight cycle terminate (exit(), §5), then
+    // flush the app context's batched barrier counters before the
+    // GcStats snapshot below (exit() already flushed the GC context's).
     heap.exit(&mut gc_ctx);
+    heap.flush_stats(&mut app_ctx);
 
     let (avg_footprint, avg_live) = if samples.is_empty() {
         let st = heap.pool().stats();

@@ -1,0 +1,93 @@
+//! Multi-threaded driver determinism and fixed-seed cycle-total pins.
+//!
+//! The condvar turn-taker serializes application threads into a strict
+//! round-robin, so a multi-threaded run is a deterministic function of
+//! (workload, threads, config) — two runs must agree on every sample and
+//! every cycle total. The pinned single-thread totals guard the lock-path
+//! refactors (striped relocation locks, shared-read engine path, batched
+//! counters): all of them are host-side only, so the simulated numbers
+//! must never move.
+
+use ffccd::Scheme;
+use ffccd_workloads::driver::{run, run_mt, DriverConfig, PhaseMix, RunResult};
+use ffccd_workloads::LinkedList;
+
+fn tiny_cfg(scheme: Scheme) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix::tiny();
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.seed = 0x5EED;
+    cfg.pool.machine.seed = 0x5EED;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg
+}
+
+fn assert_runs_match(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.ops, b.ops, "{what}: ops");
+    assert_eq!(a.app_cycles, b.app_cycles, "{what}: app cycles");
+    assert_eq!(a.gc_driver_cycles, b.gc_driver_cycles, "{what}: gc cycles");
+    assert_eq!(a.gc, b.gc, "{what}: gc stats");
+    assert_eq!(a.samples, b.samples, "{what}: samples");
+    assert_eq!(
+        a.avg_footprint.to_bits(),
+        b.avg_footprint.to_bits(),
+        "{what}: footprint"
+    );
+}
+
+#[test]
+fn run_mt_is_deterministic_across_reruns() {
+    for scheme in [Scheme::Sfccd, Scheme::FfccdCheckLookup] {
+        for threads in [2usize, 4] {
+            let cfg = tiny_cfg(scheme);
+            let a = run_mt(Box::new(LinkedList::new()), threads, &cfg);
+            let b = run_mt(Box::new(LinkedList::new()), threads, &cfg);
+            assert_runs_match(&a, &b, &format!("{scheme} x{threads}"));
+            assert!(a.gc.barrier_invocations > 0, "{scheme}: barriers fired");
+            assert!(!a.samples.is_empty(), "{scheme}: sampler produced samples");
+        }
+    }
+}
+
+#[test]
+fn run_mt_samples_on_the_global_op_cadence() {
+    let cfg = tiny_cfg(Scheme::Sfccd);
+    let threads = 4;
+    let r = run_mt(Box::new(LinkedList::new()), threads, &cfg);
+    let stride = (cfg.sample_every * threads) as u64;
+    for (i, s) in r.samples.iter().enumerate() {
+        assert_eq!(
+            s.op,
+            i as u64 * stride,
+            "sample {i} must land on the global cadence"
+        );
+    }
+}
+
+/// Fixed-seed single-thread cycle totals, pinned before the lock-light
+/// refactor. If one of these moves, a host-side locking change has leaked
+/// into simulated accounting — that is a bug, not a number to re-pin.
+#[test]
+fn pinned_cycle_totals_are_unchanged() {
+    let pins = [
+        (Scheme::Sfccd, 769_180u64, 277_029u64, 277_767u64),
+        (Scheme::FfccdFenceFree, 770_656, 333_915, 245_156),
+        (Scheme::FfccdCheckLookup, 766_438, 333_915, 240_938),
+    ];
+    for (scheme, app, gc_driver, total_gc) in pins {
+        let cfg = tiny_cfg(scheme);
+        let r = run(&mut LinkedList::new(), &cfg);
+        assert_eq!(r.app_cycles, app, "{scheme}: app cycles");
+        assert_eq!(r.gc_driver_cycles, gc_driver, "{scheme}: gc driver cycles");
+        assert_eq!(
+            r.gc.total_gc_cycles(),
+            total_gc,
+            "{scheme}: total gc cycles"
+        );
+        assert_eq!(
+            r.gc.barrier_invocations, 26,
+            "{scheme}: barrier invocations"
+        );
+        assert_eq!(r.gc.objects_relocated, 257, "{scheme}: objects relocated");
+    }
+}
