@@ -149,6 +149,14 @@ impl PersistObserver for Rbb {
             }
         }
     }
+
+    fn line_reached_fixup(&self, line: Line) -> Option<(u64, u64)> {
+        // Pure function of the metadata layout — no buffered state — so a
+        // fixup captured at snapshot time stays valid when the adversarial
+        // explorer materializes subset images later.
+        self.frame_and_bit(line)
+            .map(|(frame, bit)| (self.meta.reached_word(frame), 1u64 << bit))
+    }
 }
 
 /// Reads the persistent reached word for `frame` from a post-crash media.
@@ -217,6 +225,27 @@ mod tests {
         let rbb = Rbb::new(meta, 8);
         rbb.crash_flush(&mut media, &[data_line(&meta, 4, 10)]);
         assert_eq!(reached_word(&media, &meta, 4), 1 << 10);
+    }
+
+    #[test]
+    fn line_reached_fixup_matches_crash_flush_effect() {
+        let (meta, mut media) = setup();
+        let rbb = Rbb::new(meta, 8);
+        let line = data_line(&meta, 4, 10);
+        let (word, mask) = rbb.line_reached_fixup(line).expect("data-region line");
+        // Applying the fixup by hand must set exactly the bit a
+        // crash_flush of the same in-flight line would set.
+        let cur = media.read_u64(word);
+        media.write_u64(word, cur | mask);
+        let mut flushed = Media::new(media.len());
+        rbb.crash_flush(&mut flushed, &[line]);
+        assert_eq!(reached_word(&media, &meta, 4), 1 << 10);
+        assert_eq!(
+            reached_word(&flushed, &meta, 4),
+            reached_word(&media, &meta, 4)
+        );
+        // Outside the data region: no fixup (GC metadata is never pending).
+        assert!(rbb.line_reached_fixup(Line(0)).is_none());
     }
 
     #[test]

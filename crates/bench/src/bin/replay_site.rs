@@ -1,4 +1,4 @@
-//! Replays one crash site from a sweep failure triple.
+//! Replays one crash site from a sweep or adversary failure triple.
 //!
 //! The crash-site sweep (`sec7_1`, section 7.1b) prints failures as
 //! `(seed=0x…, site=N, op=M)`. This tool re-runs that exact crash in
@@ -9,11 +9,17 @@
 //!     FFCCD_SITE=171687 cargo run --release -p ffccd-bench --bin replay_site
 //! ```
 //!
-//! The run configuration matches the sweep campaign's, so the site ID
-//! resolves to the same durability event.
+//! The adversarial campaign (section 7.1c) prints
+//! `(seed=0x…, site=N, subset=0xM)` triples; set `FFCCD_SUBSET=0xM` to
+//! materialize exactly that maybe-persisted subset at the site before
+//! recovering (without it, the base nothing-persisted image is used).
+//!
+//! The run configuration matches the campaigns', so the site ID resolves
+//! to the same durability event and the mask to the same lattice entries.
 
 use ffccd::Scheme;
 use ffccd_bench::driver_config;
+use ffccd_workloads::adversary::replay_adversary_subset_full;
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::replay_crash_site;
 use ffccd_workloads::{AvlTree, LinkedList, Pmemkv, Workload};
@@ -58,6 +64,35 @@ fn main() {
     };
     cfg.pool.data_bytes = 8 << 20;
     cfg.defrag.min_live_bytes = 1 << 12;
+
+    if let Some(mask) = env("FFCCD_SUBSET").as_deref().map(parse_u64) {
+        println!(
+            "replaying {workload} / {} seed=0x{seed:x} site={site} subset=0x{mask:x}",
+            scheme.label()
+        );
+        match replay_adversary_subset_full(&*make, scheme, seed, site, mask, &cfg) {
+            None => {
+                println!("site {site} never fired — wrong seed, workload or config?");
+                std::process::exit(2);
+            }
+            Some(r) => {
+                let (op, maybe_len) = (r.op, r.maybe_len);
+                match r.outcome {
+                    Ok(()) => println!(
+                        "site fired during op {op} (maybe set {maybe_len}): \
+                         recovery + validation PASS"
+                    ),
+                    Err(msg) => {
+                        println!(
+                            "site fired during op {op} (maybe set {maybe_len}): FAIL\n  {msg}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        return;
+    }
 
     println!(
         "replaying {workload} / {} seed=0x{seed:x} site={site}",

@@ -17,9 +17,21 @@
 //! single-bank deterministic mode, so the per-setting reports — and the
 //! printed table, which is emitted in fixed setting order after the
 //! fan-out joins — are identical at every job count.
+//!
+//! A third campaign (`--adversary`) goes one level deeper: at each
+//! targeted crash site it enumerates *maybe-persisted subsets* — every
+//! combination of dirty-cache and in-flight lines is a legal ADR
+//! durability outcome — materializing up to `FFCCD_ADV_IMAGES` crash
+//! images per site (default 64; exhaustive when the lattice fits) across
+//! `FFCCD_ADV_SITES` sites per setting (default 8) and validating
+//! recovery from each. Failures shrink to 1-minimal replayable
+//! `(seed, site_id, subset_bitmask)` triples. `--adversary` runs just
+//! this campaign; add `--smoke` for the CI geometry (4 sites × 32
+//! images).
 
 use ffccd::Scheme;
 use ffccd_bench::{driver_config, header, jobs, rule};
+use ffccd_workloads::adversary::{run_adversary_sweep, AdversaryPlan};
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
 use ffccd_workloads::par::parallel_map;
@@ -135,7 +147,128 @@ fn sweep_campaign(jobs: usize) -> u64 {
     failures
 }
 
+fn adv_sites(smoke: bool) -> u64 {
+    std::env::var("FFCCD_ADV_SITES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 8 })
+}
+
+fn adv_images(smoke: bool) -> u64 {
+    std::env::var("FFCCD_ADV_IMAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 32 } else { 64 })
+}
+
+/// Adversarial persistence campaign: 4 schemes × 3 workloads; at each of
+/// up to `FFCCD_ADV_SITES` captured sites, up to `FFCCD_ADV_IMAGES`
+/// maybe-persisted subset images are materialized and recovered
+/// (exhaustively when the lattice fits the budget, corner-biased seeded
+/// sampling beyond). Settings fan out over `jobs` threads; rows print in
+/// fixed setting order once the fan-out joins, so the output is
+/// job-count-invariant.
+fn adversary_campaign(jobs: usize, smoke: bool) -> u64 {
+    header("Section 7.1c: adversarial persistence exploration (maybe-persisted subsets)");
+    let factories: Vec<(&str, Factory)> = vec![
+        ("LL", Box::new(|| Box::new(LinkedList::new()))),
+        ("AVL", Box::new(|| Box::new(AvlTree::new()))),
+        ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
+    ];
+    let schemes = [
+        Scheme::Espresso,
+        Scheme::Sfccd,
+        Scheme::FfccdFenceFree,
+        Scheme::FfccdCheckLookup,
+    ];
+    println!(
+        "{:<8} {:<22} {:>10} {:>6} {:>8} {:>7} {:>6} {:>9} {:>8}",
+        "bench", "scheme", "sites", "capt", "images", "exhaust", "empty", "max-maybe", "result"
+    );
+    rule(92);
+    let sites = adv_sites(smoke);
+    let images = adv_images(smoke);
+    let settings: Vec<(usize, usize)> = (0..factories.len())
+        .flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si)))
+        .collect();
+    let rows = parallel_map(&settings, jobs.max(1), |_, &(wi, si)| {
+        let (name, make) = &factories[wi];
+        let scheme = schemes[si];
+        let seed = 0xadfe00 + wi as u64 * 17 + si as u64;
+        let mut cfg = driver_config(scheme, false, seed);
+        cfg.mix = PhaseMix {
+            init: 1200,
+            phase_ops: 900,
+            phases: 3,
+        };
+        cfg.pool.data_bytes = 8 << 20;
+        cfg.defrag.min_live_bytes = 1 << 12;
+        let plan = AdversaryPlan::new(seed, sites, images);
+        let report = run_adversary_sweep(&**make, scheme, &plan, &cfg);
+        // Every targeted site must fire on replay, each contributes at
+        // least its base image, and every subset must recover — or the
+        // failure must shrink to a replayable minimal triple (still FAIL,
+        // but actionable).
+        let ok = report.failures.is_empty()
+            && report.captured == report.targeted
+            && report.images >= report.captured;
+        let mut lines = vec![format!(
+            "{:<8} {:<22} {:>10} {:>6} {:>8} {:>7} {:>6} {:>9} {:>8}",
+            name,
+            scheme.label(),
+            report.total_sites,
+            report.captured,
+            report.images,
+            report.exhaustive_sites,
+            report.empty_lattices,
+            report.max_maybe,
+            if ok { "PASS" } else { "FAIL" }
+        )];
+        if !ok {
+            for f in report.failures.iter().take(3) {
+                lines.push(format!(
+                    "    {} during {} (op {}, maybe {}): {}{}{}",
+                    f.triple(),
+                    f.kind,
+                    f.op,
+                    f.maybe_len,
+                    f.message,
+                    if f.minimal { " [1-minimal]" } else { "" },
+                    if f.reproduced { " [reproduced]" } else { "" }
+                ));
+            }
+        }
+        (lines, u64::from(!ok))
+    });
+    let mut failures = 0;
+    for (lines, failed) in rows {
+        for line in lines {
+            println!("{line}");
+        }
+        failures += failed;
+    }
+    rule(92);
+    println!(
+        "adversary: {} settings, {sites} sites x {images} images, jobs {jobs}: {}",
+        factories.len() * schemes.len(),
+        if failures == 0 {
+            "ALL PASS (every explored durability outcome recovers)".to_owned()
+        } else {
+            format!("{failures} settings FAILED (triples above replay the minimal subsets)")
+        }
+    );
+    failures
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--adversary") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if adversary_campaign(jobs(), smoke) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut sweep_failures = 0;
     if std::env::var("FFCCD_SWEEP_ONLY").is_ok() {
         sweep_failures = sweep_campaign(jobs());

@@ -183,7 +183,28 @@ impl DefragHeap {
         registry: TypeRegistry,
         cfg: DefragConfig,
     ) -> Result<(Self, crate::RecoveryReport), PoolError> {
-        let engine = image.restart();
+        Self::open_recovered_with_seed(image, None, registry, cfg)
+    }
+
+    /// [`DefragHeap::open_recovered`] with the restarted machine's RNG seed
+    /// overridden. Recovery correctness must not depend on the post-crash
+    /// eviction schedule, so the recovery report and validation outcome are
+    /// invariant across seeds — the restart-seed regression tests assert
+    /// exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolError`] from recovery or pool opening.
+    pub fn open_recovered_with_seed(
+        image: &ffccd_pmem::CrashImage,
+        restart_seed: Option<u64>,
+        registry: TypeRegistry,
+        cfg: DefragConfig,
+    ) -> Result<(Self, crate::RecoveryReport), PoolError> {
+        let engine = match restart_seed {
+            Some(seed) => image.restart_with_seed(seed),
+            None => image.restart(),
+        };
         let report = crate::recovery::recover(&engine, &registry, cfg.scheme)?;
         let pool = PmPool::open(engine, registry)?;
         let heap = Self::from_pool(pool, cfg);

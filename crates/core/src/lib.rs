@@ -24,6 +24,7 @@ mod comparators;
 mod config;
 mod heap;
 mod phases;
+mod probe;
 mod recovery;
 mod stats;
 mod validate;
@@ -32,6 +33,7 @@ mod walk;
 pub use config::{DefragConfig, Scheme};
 pub use heap::DefragHeap;
 pub use phases::phase_sites;
+pub use probe::ProbeId;
 pub use recovery::{recover, RecoveryReport};
 pub use stats::{GcStats, GcStatsSnapshot};
 pub use validate::{validate_heap, ValidationSummary};

@@ -1,0 +1,70 @@
+//! Identity of one adversarial persistence probe.
+//!
+//! The adversarial explorer (workloads crate) checks recovery against
+//! *chosen* durability outcomes: at a deterministic crash site it picks a
+//! subset of the maybe-persisted lines and materializes the crash image in
+//! which exactly that subset reached media. A failure is fully
+//! identified, and byte-identically replayable, from the triple recorded
+//! here; recovery/validation failure reports carry it so the offending
+//! subset is never ambiguous.
+
+use std::fmt;
+
+/// The replayable identity of one explored crash outcome:
+/// `(seed, site_id, subset_bitmask)`.
+///
+/// * `seed` seeds the whole run (machine RNG + target selection), making
+///   site IDs deterministic;
+/// * `site_id` names the durability event the image was captured at;
+/// * `subset_mask` selects which maybe-persisted lines the materialized
+///   image contains (bit `i` ⇒ entry `i` of the site's
+///   `ffccd_pmem::MaybeSet` persisted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId {
+    /// Machine/plan seed of the run.
+    pub seed: u64,
+    /// Deterministic crash-site ID within that run.
+    pub site_id: u64,
+    /// Subset bitmask over the site's maybe-persisted set.
+    pub subset_mask: u64,
+}
+
+impl ProbeId {
+    /// Builds the triple.
+    pub fn new(seed: u64, site_id: u64, subset_mask: u64) -> Self {
+        ProbeId {
+            seed,
+            site_id,
+            subset_mask,
+        }
+    }
+}
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(seed=0x{:x}, site={}, subset=0x{:x})",
+            self.seed, self.site_id, self.subset_mask
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_replay_triple() {
+        let p = ProbeId::new(0x517e01, 42, 0b1011);
+        assert_eq!(p.to_string(), "(seed=0x517e01, site=42, subset=0xb)");
+    }
+
+    #[test]
+    fn ordering_is_by_site_then_mask() {
+        let a = ProbeId::new(1, 2, 9);
+        let b = ProbeId::new(1, 3, 0);
+        assert!(a < b);
+        assert_eq!(a, ProbeId::new(1, 2, 9));
+    }
+}

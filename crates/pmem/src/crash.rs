@@ -1,8 +1,92 @@
 //! Crash images: post-power-failure machine state for fault injection.
 
+use crate::addr::{Line, CACHELINE_BYTES};
 use crate::engine::PmEngine;
 use crate::media::Media;
 use crate::timing::MachineConfig;
+
+/// Where a maybe-persisted line was sitting when its site fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaybeOrigin {
+    /// Post-`clwb`, pre-`sfence`: in the in-flight writeback stage, outside
+    /// the persistence domain until accepted by the WPQ.
+    InFlight,
+    /// Dirty in the volatile cache; persists only if evicted before the
+    /// crash.
+    DirtyCache,
+}
+
+/// One element of the *maybe-persisted set*: a line whose durability at
+/// crash time is genuinely ambiguous under ADR. WPQ entries are excluded
+/// (ADR flushes the queue, so they are certainly durable); clean cache
+/// lines are excluded (media already holds their data).
+#[derive(Clone, Debug)]
+pub struct MaybeLine {
+    /// The ambiguous line.
+    pub line: Line,
+    /// The unpersisted contents it would contribute.
+    pub data: [u8; CACHELINE_BYTES as usize],
+    /// FFCCD pending bit: the line was written by `relocate`.
+    pub pending: bool,
+    /// Which volatile stage held the line.
+    pub origin: MaybeOrigin,
+    /// Reached-bitmap fixup `(media word offset, OR mask)` to apply when
+    /// this line is chosen to persist (see
+    /// [`crate::PersistObserver::line_reached_fixup`]); `None` for
+    /// non-pending lines or schemes without a reached bitmap.
+    pub reached_fixup: Option<(u64, u64)>,
+}
+
+/// The maybe-persisted set at one crash site: every subset of it is a
+/// legal ADR crash outcome, because nothing orders the writebacks of
+/// non-fenced lines with respect to each other or the failure.
+///
+/// Entry order is deterministic — in-flight entries first (FIFO, oldest
+/// first; the same line may appear more than once), then dirty cache
+/// residents (most recently inserted first) — so a subset bitmask over
+/// entry indices replays byte-identically. The explored *window* is the
+/// first [`MaybeSet::window`] ≤ 64 entries; lines beyond it stay
+/// unpersisted in every materialized image.
+#[derive(Clone, Debug, Default)]
+pub struct MaybeSet {
+    entries: Vec<MaybeLine>,
+}
+
+impl MaybeSet {
+    /// Wraps an ordered entry list (the engine builds these).
+    pub fn new(entries: Vec<MaybeLine>) -> Self {
+        MaybeSet { entries }
+    }
+
+    /// The ordered entries.
+    pub fn entries(&self) -> &[MaybeLine] {
+        &self.entries
+    }
+
+    /// Total ambiguous lines (may exceed the 64-entry mask window).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the lattice is trivial (only the base image exists).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries addressable by a subset bitmask (≤ 64).
+    pub fn window(&self) -> u32 {
+        self.entries.len().min(64) as u32
+    }
+
+    /// The mask selecting every in-window entry.
+    pub fn full_mask(&self) -> u64 {
+        match self.window() {
+            0 => 0,
+            64 => u64::MAX,
+            w => (1u64 << w) - 1,
+        }
+    }
+}
 
 /// What the persistent media contains after a simulated power failure.
 ///
@@ -43,6 +127,34 @@ impl CrashImage {
         };
         PmEngine::from_media(cfg, self.media.clone())
     }
+
+    /// Materializes the crash image in which, additionally to this base
+    /// image (WPQ flushed, nothing volatile persisted), exactly the
+    /// `maybe` entries selected by `mask` bit `i` ⇒ entry `i` made it to
+    /// media before the failure.
+    ///
+    /// Entries are applied in ascending index order, so when the same line
+    /// appears twice (an in-flight writeback plus a newer dirty cache
+    /// copy) and both are selected, the newer data wins — matching the
+    /// order the hardware would have written them. A selected *pending*
+    /// line also applies its reached-bitmap fixup: the reached bit is
+    /// recorded atomically with the line's drain, so any image containing
+    /// the line must contain the bit. Bits at or beyond
+    /// [`MaybeSet::window`] are ignored.
+    pub fn with_persisted_subset(&self, maybe: &MaybeSet, mask: u64) -> CrashImage {
+        let mut media = self.media.clone();
+        for (i, e) in maybe.entries().iter().take(64).enumerate() {
+            if mask & (1u64 << i) == 0 {
+                continue;
+            }
+            media.write_line(e.line, &e.data);
+            if let Some((word, or_mask)) = e.reached_fixup {
+                let cur = media.read_u64(word);
+                media.write_u64(word, cur | or_mask);
+            }
+        }
+        CrashImage::new(media, self.cfg.clone())
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +180,81 @@ mod tests {
         let img = e.crash_image();
         let e2 = img.restart_with_seed(99);
         assert_eq!(e2.config().seed, 99);
+    }
+
+    fn maybe_entry(line: u64, byte: u8, fixup: Option<(u64, u64)>) -> MaybeLine {
+        MaybeLine {
+            line: Line(line),
+            data: [byte; CACHELINE_BYTES as usize],
+            pending: fixup.is_some(),
+            origin: MaybeOrigin::DirtyCache,
+            reached_fixup: fixup,
+        }
+    }
+
+    #[test]
+    fn maybe_set_window_and_full_mask() {
+        assert_eq!(MaybeSet::default().window(), 0);
+        assert_eq!(MaybeSet::default().full_mask(), 0);
+        let small = MaybeSet::new((0..3).map(|i| maybe_entry(i, 0, None)).collect());
+        assert_eq!(small.window(), 3);
+        assert_eq!(small.full_mask(), 0b111);
+        let big = MaybeSet::new((0..70).map(|i| maybe_entry(i, 0, None)).collect());
+        assert_eq!(big.len(), 70);
+        assert_eq!(big.window(), 64);
+        assert_eq!(big.full_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn subset_selects_exactly_the_masked_lines() {
+        let img = CrashImage::new(Media::new(64 * 8), MachineConfig::default());
+        let maybe = MaybeSet::new(vec![
+            maybe_entry(1, 0x11, None),
+            maybe_entry(2, 0x22, None),
+            maybe_entry(3, 0x33, None),
+        ]);
+        let sub = img.with_persisted_subset(&maybe, 0b101);
+        assert_eq!(sub.media().read_vec(64, 1), vec![0x11]);
+        assert_eq!(sub.media().read_vec(128, 1), vec![0x00], "bit 1 unset");
+        assert_eq!(sub.media().read_vec(192, 1), vec![0x33]);
+        // The empty subset is the base image, byte-for-byte.
+        let empty = img.with_persisted_subset(&maybe, 0);
+        assert_eq!(empty.media().as_bytes(), img.media().as_bytes());
+    }
+
+    #[test]
+    fn later_duplicate_entry_wins_when_both_selected() {
+        // In-flight copy (older) at index 0, re-dirtied cache copy (newer)
+        // at index 1: selecting both must leave the newer data.
+        let img = CrashImage::new(Media::new(64 * 4), MachineConfig::default());
+        let maybe = MaybeSet::new(vec![maybe_entry(2, 0xAA, None), maybe_entry(2, 0xBB, None)]);
+        let both = img.with_persisted_subset(&maybe, 0b11);
+        assert_eq!(both.media().read_vec(128, 1), vec![0xBB]);
+        let only_old = img.with_persisted_subset(&maybe, 0b01);
+        assert_eq!(only_old.media().read_vec(128, 1), vec![0xAA]);
+    }
+
+    #[test]
+    fn pending_selection_applies_reached_fixup() {
+        let img = CrashImage::new(Media::new(64 * 4), MachineConfig::default());
+        let maybe = MaybeSet::new(vec![maybe_entry(3, 0x77, Some((8, 1 << 5)))]);
+        let sub = img.with_persisted_subset(&maybe, 1);
+        assert_eq!(sub.media().read_vec(192, 1), vec![0x77]);
+        assert_eq!(sub.media().read_u64(8), 1 << 5, "reached bit recorded");
+        let none = img.with_persisted_subset(&maybe, 0);
+        assert_eq!(none.media().read_u64(8), 0, "unselected line: no bit");
+    }
+
+    #[test]
+    fn out_of_window_entries_never_persist() {
+        let img = CrashImage::new(Media::new(64 * 128), MachineConfig::default());
+        let maybe = MaybeSet::new((0..70).map(|i| maybe_entry(i, 0x5A, None)).collect());
+        let sub = img.with_persisted_subset(&maybe, u64::MAX);
+        assert_eq!(sub.media().read_vec(63 * 64, 1), vec![0x5A]);
+        assert_eq!(
+            sub.media().read_vec(64 * 64, 1),
+            vec![0x00],
+            "entry 64 is outside the mask window"
+        );
     }
 }

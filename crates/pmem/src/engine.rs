@@ -34,7 +34,7 @@ use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use crate::addr::{line_of, lines_spanning, Line, CACHELINE_BYTES};
 use crate::cache::{CacheSim, Evicted};
-use crate::crash::CrashImage;
+use crate::crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet};
 use crate::ctx::Ctx;
 use crate::media::Media;
 use crate::observer::PersistObserver;
@@ -542,6 +542,24 @@ impl PmEngine {
         self.shared.sites.lock().drain()
     }
 
+    /// The current maybe-persisted set: every line whose durability would
+    /// be ambiguous if power failed right now — in-flight writebacks
+    /// (post-`clwb`, pre-acceptance) followed by dirty cache residents.
+    /// WPQ entries are excluded (ADR-durable); under eADR the set is empty
+    /// (residual power flushes everything). Banks are visited in ascending
+    /// index order; on the single-bank deterministic engine the order is
+    /// the canonical one subset bitmasks index
+    /// ([`crate::MaybeSet`]).
+    pub fn maybe_persisted_set(&self) -> MaybeSet {
+        let guards: Vec<RwLockWriteGuard<'_, Bank>> =
+            self.banks.iter().map(|b| b.write()).collect();
+        let mut entries = Vec::new();
+        for g in guards.iter() {
+            g.collect_maybe_into(self, &mut entries);
+        }
+        MaybeSet::new(entries)
+    }
+
     /// Reports a GC phase transition from the heap layer as a crash site
     /// ([`SiteKind::Phase`] with `code` as detail). Cheap no-op while
     /// tracking is off.
@@ -651,8 +669,53 @@ impl Bank {
         CrashImage::new(media, (*eng.cfg).clone())
     }
 
+    /// Collects this bank's contribution to the maybe-persisted set:
+    /// in-flight writebacks first (FIFO, oldest first — the order they
+    /// would drain), then dirty cache residents, most recently inserted
+    /// first, so the bounded 64-entry mask window prefers the lines the
+    /// crashing code just touched. Empty under eADR: residual power
+    /// flushes every volatile line, so nothing is ambiguous.
+    fn collect_maybe_into(&self, eng: &PmEngine, entries: &mut Vec<MaybeLine>) {
+        if eng.cfg.eadr {
+            return;
+        }
+        let obs = eng
+            .shared
+            .has_observer
+            .load(Ordering::Acquire)
+            .then(|| eng.shared.observer.read().clone())
+            .flatten();
+        let fixup = |pending: bool, line: Line| {
+            if !pending {
+                return None;
+            }
+            obs.as_ref().and_then(|o| o.line_reached_fixup(line))
+        };
+        for (_, e) in &self.inflight {
+            entries.push(MaybeLine {
+                line: e.line,
+                data: e.data,
+                pending: e.pending,
+                origin: MaybeOrigin::InFlight,
+                reached_fixup: fixup(e.pending, e.line),
+            });
+        }
+        let start = entries.len();
+        for (line, cl) in self.cache.dirty_lines() {
+            entries.push(MaybeLine {
+                line,
+                data: cl.data,
+                pending: cl.pending,
+                origin: MaybeOrigin::DirtyCache,
+                reached_fixup: fixup(cl.pending, line),
+            });
+        }
+        entries[start..].reverse();
+    }
+
     /// Registers a durability-relevant event with the site tracker and
-    /// captures a crash image when the site is targeted.
+    /// captures a crash image — plus the maybe-persisted set at the same
+    /// instant — when the site is targeted.
     fn site_event(&self, eng: &PmEngine, kind: SiteKind, detail: u64) {
         if !eng.shared.sites_active.load(Ordering::Acquire) {
             return;
@@ -660,7 +723,9 @@ impl Bank {
         let mut sites = eng.shared.sites.lock();
         if let Some(trace) = sites.note(kind, detail) {
             let image = self.snapshot_single(eng);
-            sites.push_capture(trace, image);
+            let mut maybe = Vec::new();
+            self.collect_maybe_into(eng, &mut maybe);
+            sites.push_capture(trace, image, MaybeSet::new(maybe));
         }
     }
 
@@ -1357,6 +1422,162 @@ mod site_tests {
             vec![0xDD; 8],
             "accepted by the WPQ: ADR-durable"
         );
+    }
+}
+
+#[cfg(test)]
+mod maybe_tests {
+    use super::*;
+
+    fn quiet_cfg() -> MachineConfig {
+        MachineConfig {
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn dirty_line_is_maybe_and_subset_controls_it() {
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[0xAB; 8]);
+        let maybe = e.maybe_persisted_set();
+        assert_eq!(maybe.len(), 1);
+        assert_eq!(maybe.entries()[0].origin, MaybeOrigin::DirtyCache);
+        assert!(!maybe.entries()[0].pending);
+        let base = e.crash_image();
+        assert_eq!(base.media().read_vec(0, 8), vec![0u8; 8]);
+        let full = base.with_persisted_subset(&maybe, maybe.full_mask());
+        assert_eq!(full.media().read_vec(0, 8), vec![0xAB; 8]);
+    }
+
+    #[test]
+    fn inflight_precedes_dirty_and_wpq_is_excluded() {
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        let mut ctx = Ctx::new(e.config());
+        // Line 0: fenced — in the WPQ / media, certainly durable.
+        e.write(&mut ctx, 0, &[1; 8]);
+        e.clwb(&mut ctx, 0);
+        e.sfence(&mut ctx);
+        // Line 1: clwb'd but unfenced — in flight.
+        e.write(&mut ctx, 64, &[2; 8]);
+        e.clwb(&mut ctx, 64);
+        // Line 2: dirty in cache. Written from a second core, whose per-op
+        // retirement skips core 1's in-flight entry (it would otherwise
+        // retire line 1 into the WPQ).
+        let mut ctx2 = Ctx::new(e.config());
+        e.write(&mut ctx2, 128, &[3; 8]);
+        let maybe = e.maybe_persisted_set();
+        let lines: Vec<u64> = maybe.entries().iter().map(|m| m.line.0).collect();
+        assert!(!lines.contains(&0), "fenced line is not ambiguous");
+        let origins: Vec<MaybeOrigin> = maybe.entries().iter().map(|m| m.origin).collect();
+        let first_cache = origins
+            .iter()
+            .position(|o| *o == MaybeOrigin::DirtyCache)
+            .expect("dirty resident present");
+        assert!(
+            origins[..first_cache]
+                .iter()
+                .all(|o| *o == MaybeOrigin::InFlight),
+            "in-flight entries come first: {origins:?}"
+        );
+        assert!(lines.contains(&1) && lines.contains(&2));
+    }
+
+    #[test]
+    fn redirtied_line_appears_twice_newest_wins() {
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        let mut a = Ctx::new(e.config());
+        let mut b = Ctx::new(e.config());
+        // Core A clwbs old data (in flight, tagged A); core B re-dirties
+        // the line (B's per-op retirement skips A's entry).
+        e.write(&mut a, 0, &[0x0A; 8]);
+        e.clwb(&mut a, 0);
+        e.write(&mut b, 0, &[0x0B; 8]);
+        let maybe = e.maybe_persisted_set();
+        let dupes: Vec<&MaybeLine> = maybe.entries().iter().filter(|m| m.line.0 == 0).collect();
+        assert_eq!(dupes.len(), 2, "both volatile copies are ambiguous");
+        assert_eq!(dupes[0].origin, MaybeOrigin::InFlight);
+        assert_eq!(dupes[0].data[0], 0x0A);
+        assert_eq!(dupes[1].origin, MaybeOrigin::DirtyCache);
+        assert_eq!(dupes[1].data[0], 0x0B);
+        let base = e.crash_image();
+        let both = base.with_persisted_subset(&maybe, maybe.full_mask());
+        assert_eq!(
+            both.media().read_vec(0, 1),
+            vec![0x0B],
+            "cache copy is newer and must win"
+        );
+    }
+
+    #[test]
+    fn pending_maybe_line_carries_observer_fixup() {
+        struct FixedFixup;
+        impl PersistObserver for FixedFixup {
+            fn pending_line_persisted(&self, _m: &mut Media, _l: Line) {}
+            fn crash_flush(&self, _m: &mut Media, _i: &[Line]) {}
+            fn line_reached_fixup(&self, line: Line) -> Option<(u64, u64)> {
+                Some((1 << 18, 1u64 << (line.0 % 64)))
+            }
+        }
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        e.set_observer(Arc::new(FixedFixup));
+        let mut ctx = Ctx::new(e.config());
+        e.write_pending(&mut ctx, 3 * 64, &[7; 8]);
+        e.write(&mut ctx, 4 * 64, &[8; 8]);
+        let maybe = e.maybe_persisted_set();
+        let pending: Vec<&MaybeLine> = maybe.entries().iter().filter(|m| m.pending).collect();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].reached_fixup, Some((1 << 18, 1u64 << 3)));
+        assert!(
+            maybe
+                .entries()
+                .iter()
+                .filter(|m| !m.pending)
+                .all(|m| m.reached_fixup.is_none()),
+            "non-pending lines never get a fixup"
+        );
+        let base = e.crash_image();
+        let full = base.with_persisted_subset(&maybe, maybe.full_mask());
+        assert_eq!(full.media().read_u64(1 << 18) & (1 << 3), 1 << 3);
+    }
+
+    #[test]
+    fn eadr_has_empty_maybe_set() {
+        let cfg = MachineConfig {
+            eadr: true,
+            evict_denom: u32::MAX,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(cfg, 1 << 16);
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[9; 8]);
+        e.clwb(&mut ctx, 64);
+        assert!(e.maybe_persisted_set().is_empty());
+    }
+
+    #[test]
+    fn site_capture_base_image_is_empty_subset() {
+        let e = PmEngine::new(quiet_cfg(), 1 << 20);
+        e.site_tracking_capture([2u64].into_iter().collect());
+        let mut ctx = Ctx::new(e.config());
+        e.write(&mut ctx, 0, &[1; 8]);
+        e.write(&mut ctx, 64, &[2; 8]);
+        e.write(&mut ctx, 128, &[3; 8]);
+        let caps = e.drain_site_captures();
+        e.site_tracking_stop();
+        assert_eq!(caps.len(), 1);
+        let cap = &caps[0];
+        assert_eq!(cap.maybe.len(), 3, "three dirty lines at site 2");
+        let empty = cap.image.with_persisted_subset(&cap.maybe, 0);
+        assert_eq!(
+            empty.media().as_bytes(),
+            cap.image.media().as_bytes(),
+            "mask 0 reproduces the captured base image byte-for-byte"
+        );
+        // Dirty residents are ordered newest-first.
+        assert_eq!(cap.maybe.entries()[0].line.0, 2);
+        assert_eq!(cap.maybe.entries()[2].line.0, 0);
     }
 }
 

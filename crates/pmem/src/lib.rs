@@ -53,7 +53,7 @@ mod wpq;
 
 pub use addr::{line_of, line_start, lines_spanning, Line, CACHELINE_BYTES};
 pub use cache::{CacheLine, CacheSim};
-pub use crash::CrashImage;
+pub use crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet};
 pub use ctx::{CounterSink, Ctx, COUNTER_SLOTS};
 pub use engine::PmEngine;
 pub use media::Media;

@@ -26,6 +26,23 @@ pub trait PersistObserver: Send + Sync {
     /// *non-destructive* crash snapshots (`PmEngine::crash_image`), where the
     /// live run continues afterwards.
     fn crash_flush(&self, media: &mut Media, in_flight: &[Line]);
+
+    /// The media fixup recording `line` as *reached*, as `(media offset of
+    /// the bitmap word, OR mask)` — or `None` when the observer does not
+    /// track the line (outside the data region, or no reached bitmap at
+    /// all, the default).
+    ///
+    /// The adversarial persistence explorer uses this to materialize crash
+    /// images in which a *pending* maybe-persisted line is chosen to have
+    /// persisted: whenever such a line reaches media, the hardware reached
+    /// bitmap records it atomically (WPQ drain and RBB update are one
+    /// event), so the subset image must apply the same fixup. It is a pure
+    /// function of the observer's address layout — independent of buffered
+    /// state — so it stays valid after the capture's snapshot.
+    fn line_reached_fixup(&self, line: Line) -> Option<(u64, u64)> {
+        let _ = line;
+        None
+    }
 }
 
 /// A no-op observer for schemes without FFCCD hardware (Espresso, SFCCD).

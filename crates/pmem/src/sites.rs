@@ -31,7 +31,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::crash::CrashImage;
+use crate::crash::{CrashImage, MaybeSet};
 
 /// The kind of durability-relevant event a crash site marks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -111,8 +111,14 @@ pub struct SiteTrace {
 pub struct SiteCapture {
     /// Which site fired.
     pub site: SiteTrace,
-    /// Machine state (post-ADR-flush media) at that instant.
+    /// Machine state (post-ADR-flush media) at that instant. This is the
+    /// *base* image: the WPQ has drained, nothing volatile persisted —
+    /// i.e. the empty subset of `maybe`.
     pub image: CrashImage,
+    /// The ambiguous lines at that instant; any subset of them persisting
+    /// is an equally legal ADR outcome
+    /// ([`CrashImage::with_persisted_subset`]).
+    pub maybe: MaybeSet,
 }
 
 /// Totals from one tracking window.
@@ -199,8 +205,8 @@ impl SiteTracker {
         })
     }
 
-    pub(crate) fn push_capture(&mut self, site: SiteTrace, image: CrashImage) {
-        self.captures.push(SiteCapture { site, image });
+    pub(crate) fn push_capture(&mut self, site: SiteTrace, image: CrashImage, maybe: MaybeSet) {
+        self.captures.push(SiteCapture { site, image, maybe });
     }
 
     pub(crate) fn drain(&mut self) -> Vec<SiteCapture> {

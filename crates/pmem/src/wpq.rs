@@ -7,7 +7,7 @@
 //! Bitmap Buffer records that the destination cacheline "has reached
 //! persistence".
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::addr::{Line, CACHELINE_BYTES};
 
@@ -23,10 +23,20 @@ pub struct WpqEntry {
 }
 
 /// Bounded FIFO of writebacks inside the persistence domain.
+///
+/// Coalescing lookups go through a line-indexed map of *absolute sequence
+/// numbers* (`seq - popped` = position in the deque), so `push` is O(1)
+/// amortized instead of a linear scan; the map is never iterated, so
+/// `HashMap`'s randomized order cannot leak into drain order or crash
+/// images.
 #[derive(Debug, Default)]
 pub struct Wpq {
     entries: VecDeque<WpqEntry>,
     capacity: usize,
+    /// line → absolute sequence number of its (unique) queued entry.
+    index: HashMap<Line, u64>,
+    /// Entries ever popped: the deque's front holds sequence `popped`.
+    popped: u64,
 }
 
 impl Wpq {
@@ -35,6 +45,8 @@ impl Wpq {
         Wpq {
             entries: VecDeque::with_capacity(capacity),
             capacity: capacity.max(1),
+            index: HashMap::with_capacity(capacity),
+            popped: 0,
         }
     }
 
@@ -53,24 +65,33 @@ impl Wpq {
         self.entries.len() >= self.capacity
     }
 
-    /// Enqueues a writeback. If a newer write to the same line is queued the
-    /// entries coalesce (last write wins, pending bits OR).
+    /// Enqueues a writeback. If a write to the same line is already queued
+    /// the entries coalesce in place (last write wins, pending bits OR) —
+    /// the coalesced entry keeps its original queue position.
     pub fn push(&mut self, entry: WpqEntry) {
-        if let Some(existing) = self.entries.iter_mut().find(|e| e.line == entry.line) {
+        if let Some(&seq) = self.index.get(&entry.line) {
+            let existing = &mut self.entries[(seq - self.popped) as usize];
             existing.data = entry.data;
             existing.pending |= entry.pending;
             return;
         }
+        self.index
+            .insert(entry.line, self.popped + self.entries.len() as u64);
         self.entries.push_back(entry);
     }
 
     /// Removes and returns the oldest entry.
     pub fn pop(&mut self) -> Option<WpqEntry> {
-        self.entries.pop_front()
+        let e = self.entries.pop_front()?;
+        self.popped += 1;
+        self.index.remove(&e.line);
+        Some(e)
     }
 
     /// Drains every entry (sfence or ADR power-failure flush).
     pub fn drain_all(&mut self) -> Vec<WpqEntry> {
+        self.popped += self.entries.len() as u64;
+        self.index.clear();
         self.entries.drain(..).collect()
     }
 
@@ -111,6 +132,34 @@ mod tests {
         let e = q.pop().expect("one entry");
         assert_eq!(e.data[0], 9, "last write wins");
         assert!(e.pending, "pending bit is sticky");
+    }
+
+    #[test]
+    fn coalesced_pushes_keep_drain_order() {
+        // A coalescing push must not move the entry: drain order stays the
+        // FIFO order of *first* pushes, across pops that shift positions.
+        let mut q = Wpq::new(16);
+        q.push(entry(1, 1, false));
+        q.push(entry(2, 2, false));
+        q.push(entry(3, 3, false));
+        q.push(entry(2, 22, true)); // coalesce mid-queue
+        assert_eq!(q.pop().map(|e| e.line), Some(Line(1)));
+        q.push(entry(4, 4, false));
+        q.push(entry(3, 33, false)); // coalesce after a pop shifted indices
+        q.push(entry(1, 11, false)); // line 1 was popped: fresh entry at the back
+        let drained = q.drain_all();
+        let order: Vec<u64> = drained.iter().map(|e| e.line.0).collect();
+        assert_eq!(order, vec![2, 3, 4, 1]);
+        assert_eq!(drained[0].data[0], 22, "last write wins");
+        assert!(drained[0].pending, "pending bit is sticky");
+        assert_eq!(drained[1].data[0], 33);
+        assert_eq!(drained[2].data[0], 4);
+        assert_eq!(drained[3].data[0], 11);
+        // The queue is reusable after a drain (sequence bookkeeping holds).
+        q.push(entry(5, 5, false));
+        q.push(entry(5, 55, false));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|e| e.data[0]), Some(55));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub struct FaultReport {
 
 /// The defragmentation configuration every fault campaign runs under:
 /// low thresholds so cycles actually trigger at test scale.
-fn fault_defrag(scheme: Scheme) -> DefragConfig {
+pub(crate) fn fault_defrag(scheme: Scheme) -> DefragConfig {
     DefragConfig {
         min_live_bytes: 1 << 12,
         cooldown_ops: 64,
@@ -76,7 +76,7 @@ fn seeded_pool(cfg: &DriverConfig, seed: u64) -> PoolConfig {
 /// site_id)` pair alone — across processes, job counts, and whatever
 /// `banks` the caller's machine config asks for — and the engine itself
 /// rejects site tracking on a banked engine.
-fn deterministic_pool(cfg: &DriverConfig, seed: u64) -> PoolConfig {
+pub(crate) fn deterministic_pool(cfg: &DriverConfig, seed: u64) -> PoolConfig {
     let mut pool = seeded_pool(cfg, seed);
     pool.machine.banks = 1;
     pool
@@ -398,7 +398,7 @@ pub fn run_crash_site_sweep_jobs(
         heap.engine().site_tracking_stop()
     };
 
-    let targets = choose_targets(summary.total, plan);
+    let targets = choose_targets(summary.total, plan.seed, plan.budget);
     let mut report = SweepReport {
         total_sites: summary.total,
         targeted: targets.len() as u64,
@@ -444,7 +444,7 @@ pub fn run_crash_site_sweep_jobs(
 }
 
 /// Splits `targets` round-robin into at most `n` non-empty chunks.
-fn split_round_robin(targets: &BTreeSet<u64>, n: usize) -> Vec<BTreeSet<u64>> {
+pub(crate) fn split_round_robin(targets: &BTreeSet<u64>, n: usize) -> Vec<BTreeSet<u64>> {
     let n = n.clamp(1, targets.len().max(1));
     let mut chunks: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
     for (i, &t) in targets.iter().enumerate() {
@@ -561,6 +561,48 @@ pub fn replay_crash_site_full(
     site_id: u64,
     cfg: &DriverConfig,
 ) -> Option<SiteReplay> {
+    let defrag = fault_defrag(scheme);
+    let run = run_single_site(make_workload, scheme, seed, site_id, cfg)?;
+    Some(SiteReplay {
+        op: run.op,
+        outcome: validate_capture(
+            &run.cap.image,
+            defrag,
+            make_workload,
+            &run.live_before,
+            &run.live_after,
+        )
+        .map(|_| ()),
+        image: run.cap.image,
+    })
+}
+
+/// What a single-site isolated replay produced, before any validation: the
+/// full [`ffccd_pmem::SiteCapture`] (base image + maybe-persisted set) and
+/// the key-set oracle bracketing the op it fired during. Shared by the
+/// sweep's shrink replays and the adversarial explorer's subset replays.
+pub(crate) struct SingleSiteRun {
+    /// 1-based op index during which the site fired.
+    pub op: u64,
+    /// The capture, drained at the first op boundary after the event.
+    pub cap: ffccd_pmem::SiteCapture,
+    /// Live key set before the firing op.
+    pub live_before: BTreeSet<u64>,
+    /// Live key set after the firing op (equals `live_before` for sites
+    /// firing during wind-down).
+    pub live_after: BTreeSet<u64>,
+}
+
+/// Reruns the workload with capture armed for just `site_id`, truncating
+/// the run at the operation during which the site fires (the minimal
+/// reproducing op prefix). Returns `None` when the site never fires.
+pub(crate) fn run_single_site(
+    make_workload: &dyn Fn() -> Box<dyn Workload>,
+    scheme: Scheme,
+    seed: u64,
+    site_id: u64,
+    cfg: &DriverConfig,
+) -> Option<SingleSiteRun> {
     let pool_cfg = deterministic_pool(cfg, seed);
     let defrag = fault_defrag(scheme);
     let mut w = make_workload();
@@ -569,16 +611,16 @@ pub fn replay_crash_site_full(
         .site_tracking_capture([site_id].into_iter().collect());
     let engine = heap.engine().clone();
 
-    let mut outcome: Option<SiteReplay> = None;
+    let mut outcome: Option<SingleSiteRun> = None;
     let mut prev_live: BTreeSet<u64> = BTreeSet::new();
     {
         let mut hook = |op: u64, _heap: &DefragHeap, live: &BTreeSet<u64>| {
             if let Some(cap) = engine.drain_site_captures().into_iter().next() {
-                outcome = Some(SiteReplay {
+                outcome = Some(SingleSiteRun {
                     op,
-                    outcome: validate_capture(&cap.image, defrag, make_workload, &prev_live, live)
-                        .map(|_| ()),
-                    image: cap.image,
+                    cap,
+                    live_before: prev_live.clone(),
+                    live_after: live.clone(),
                 });
                 return false; // shortest reproducing op prefix
             }
@@ -592,17 +634,11 @@ pub fn replay_crash_site_full(
     if outcome.is_none() {
         if let Some(cap) = heap.engine().drain_site_captures().into_iter().next() {
             let final_op = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) as u64;
-            outcome = Some(SiteReplay {
+            outcome = Some(SingleSiteRun {
                 op: final_op,
-                outcome: validate_capture(
-                    &cap.image,
-                    defrag,
-                    make_workload,
-                    &prev_live,
-                    &prev_live,
-                )
-                .map(|_| ()),
-                image: cap.image,
+                cap,
+                live_before: prev_live.clone(),
+                live_after: prev_live,
             });
         }
     }
@@ -611,15 +647,15 @@ pub fn replay_crash_site_full(
 }
 
 /// Exhaustive under budget; seeded-random (distinct, whole-run) beyond.
-fn choose_targets(total: u64, plan: &CrashPlan) -> BTreeSet<u64> {
-    if total <= plan.budget {
+pub(crate) fn choose_targets(total: u64, seed: u64, budget: u64) -> BTreeSet<u64> {
+    if total <= budget {
         return (0..total).collect();
     }
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(plan.seed ^ 0x517e_5eed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x517e_5eed);
     let mut targets = BTreeSet::new();
-    while (targets.len() as u64) < plan.budget {
+    while (targets.len() as u64) < budget {
         targets.insert(rng.gen_range(0..total));
     }
     targets
@@ -659,7 +695,7 @@ fn absorb_capture(
 /// Full recovery + two-checker validation of one captured image. Because
 /// the image may be mid-operation, the key-set oracle accepts either the
 /// pre-op or the post-op set.
-fn validate_capture(
+pub(crate) fn validate_capture(
     image: &CrashImage,
     defrag: DefragConfig,
     make_workload: &dyn Fn() -> Box<dyn Workload>,
@@ -713,15 +749,14 @@ mod tests {
 
     #[test]
     fn choose_targets_exhaustive_then_sampled() {
-        let plan = CrashPlan::new(7, 10);
-        assert_eq!(choose_targets(10, &plan).len(), 10);
-        assert_eq!(choose_targets(3, &plan), (0..3).collect());
-        let sampled = choose_targets(1_000_000, &plan);
+        assert_eq!(choose_targets(10, 7, 10).len(), 10);
+        assert_eq!(choose_targets(3, 7, 10), (0..3).collect());
+        let sampled = choose_targets(1_000_000, 7, 10);
         assert_eq!(sampled.len(), 10);
         assert!(sampled.iter().all(|&t| t < 1_000_000));
         assert_eq!(
             sampled,
-            choose_targets(1_000_000, &plan),
+            choose_targets(1_000_000, 7, 10),
             "selection is seed-deterministic"
         );
     }

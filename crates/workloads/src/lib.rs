@@ -9,7 +9,9 @@
 //!   (Figure 16);
 //! * the [`driver`] running the paper's insert/delete phase mix while
 //!   pumping concurrent defragmentation and sampling fragmentation;
-//! * the §7.1 [`faults`] fault-injection harness.
+//! * the §7.1 [`faults`] fault-injection harness and the [`adversary`]
+//!   explorer that enumerates maybe-persisted subsets at captured crash
+//!   sites.
 //!
 //! Every structure is built strictly on the `ffccd::DefragHeap` public API:
 //! typed allocation, persistent pointers through `load_ref`/`store_ref`
@@ -17,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod driver;
 pub mod faults;
 pub mod par;

@@ -1,9 +1,12 @@
 //! Crash-site sweep smoke tests: enumeration finds a rich site space,
 //! capture+validate succeeds at every targeted site, and a single site
-//! replays deterministically from its `(seed, site_id)` pair.
+//! replays deterministically from its `(seed, site_id)` pair — including
+//! adversarially chosen maybe-persisted subsets and arbitrary post-crash
+//! restart seeds.
 
-use ffccd::Scheme;
+use ffccd::{DefragHeap, Scheme};
 use ffccd_pmem::MachineConfig;
+use ffccd_workloads::adversary::replay_adversary_subset_full;
 use ffccd_workloads::driver::{DriverConfig, PhaseMix};
 use ffccd_workloads::faults::{
     replay_crash_site, replay_crash_site_full, run_crash_site_sweep, run_crash_site_sweep_jobs,
@@ -178,6 +181,114 @@ fn pinned_triples_replay_byte_identically() {
             );
         }
     }
+}
+
+/// Adversarial regression triples: `(seed, site_id, subset_bitmask)`
+/// images pinned byte-for-byte. Each case materializes a *chosen* subset
+/// of the site's maybe-persisted set — full small windows, a saturated
+/// 64-entry window over an 81-line set, and sparse partial masks — and
+/// must reproduce the same maybe-set size, firing op and media FNV-1a
+/// forever: the maybe-set's entry *order* is part of the replay contract
+/// (a reordering would silently re-aim every pinned mask), and recovery
+/// must keep passing on every one of these durability outcomes.
+#[test]
+fn pinned_adversarial_triples_replay_byte_identically() {
+    /// (workload, factory, scheme, seed, site, mask, maybe_len, op, FNV).
+    type PinnedCase<'a> = (
+        &'a str,
+        &'a dyn Fn() -> Box<dyn Workload>,
+        Scheme,
+        u64,
+        u64,
+        u64,
+        usize,
+        u64,
+        u64,
+    );
+    let make_ll: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(LinkedList::new());
+    let make_avl: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(AvlTree::new());
+    #[rustfmt::skip]
+    let pinned: Vec<PinnedCase<'_>> = vec![
+        ("LL",  make_ll,  Scheme::FfccdFenceFree, 0x517e02, 20000,  0x7,              3,  606,  0xafaf65fa1ddc43d2),
+        ("LL",  make_ll,  Scheme::FfccdFenceFree, 0x517e02, 120000, u64::MAX,         81, 1874, 0x5b4810e15b56ef08),
+        ("LL",  make_ll,  Scheme::FfccdFenceFree, 0x517e02, 120000, 0xdead_beef_0bad, 81, 1874, 0xf0f05d147e16b6fe),
+        ("LL",  make_ll,  Scheme::Espresso,       0x517e21, 60000,  0x0015_5aa3,      25, 1624, 0x7cdab8ef62c30648),
+        ("AVL", make_avl, Scheme::Sfccd,          0x517e12, 60000,  0x7,              3,  186,  0x30f8edbc64e825e8),
+    ];
+    for (name, make, scheme, seed, site, mask, maybe_len, op, hash) in pinned {
+        let cfg = sec71_cfg(scheme, seed);
+        let r = replay_adversary_subset_full(make, scheme, seed, site, mask, &cfg)
+            .expect("pinned adversarial site must fire");
+        assert_eq!(
+            r.maybe_len, maybe_len,
+            "{name} {scheme:?} ({seed:#x}, {site}, {mask:#x}): maybe-set size moved"
+        );
+        assert_eq!(
+            r.op, op,
+            "{name} {scheme:?} ({seed:#x}, {site}, {mask:#x}): firing op moved"
+        );
+        assert_eq!(
+            fnv1a(r.image.media().as_bytes()),
+            hash,
+            "{name} {scheme:?} ({seed:#x}, {site}, {mask:#x}): subset image bytes moved"
+        );
+        assert!(
+            r.outcome.is_ok(),
+            "{name} {scheme:?} ({seed:#x}, {site}, {mask:#x}) regressed: {:?}",
+            r.outcome
+        );
+    }
+}
+
+/// Recovery correctness must not depend on the *post-crash* machine's
+/// RNG (eviction schedule, WPQ drain timing): at sampled crash sites the
+/// recovery report and heap validation are invariant across restart
+/// seeds. Catches any recovery path that accidentally consults the
+/// machine's stochastic state.
+#[test]
+fn recovery_outcome_is_restart_seed_invariant() {
+    let seed = 0x5EED;
+    let scheme = Scheme::FfccdFenceFree;
+    let cfg = sweep_cfg(scheme, seed);
+    let defrag = cfg.defrag;
+    // 10 sites spread across the tiny run's whole site space.
+    let sites = [
+        500u64, 1500, 3000, 5000, 8000, 11000, 14000, 17000, 20000, 24000,
+    ];
+    let mut fired = 0;
+    for site in sites {
+        let Some(r) = replay_crash_site_full(&make_ll, scheme, seed, site, &cfg) else {
+            continue;
+        };
+        fired += 1;
+        let mut baseline = None;
+        for restart_seed in [1u64, 0xDEAD_BEEF, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            let (heap, rec) = DefragHeap::open_recovered_with_seed(
+                &r.image,
+                Some(restart_seed),
+                make_ll().registry(),
+                defrag,
+            )
+            .expect("recovery must succeed at every restart seed");
+            let outcome = (
+                rec.had_cycle,
+                rec.already_durable,
+                rec.finished,
+                rec.undone,
+                rec.refs_fixed,
+                ffccd::validate_heap(&heap).is_ok(),
+            );
+            match &baseline {
+                None => baseline = Some(outcome),
+                Some(base) => assert_eq!(
+                    *base, outcome,
+                    "site {site}: recovery outcome varies with restart seed {restart_seed:#x}"
+                ),
+            }
+            assert!(outcome.5, "site {site}: heap validation failed");
+        }
+    }
+    assert!(fired >= 8, "only {fired}/10 sampled sites fired");
 }
 
 /// Chunked parallel sweeps must merge to exactly the sequential report:

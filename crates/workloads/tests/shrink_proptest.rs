@@ -1,0 +1,101 @@
+//! Property tests of the adversarial subset shrinker: on synthetic
+//! monotone oracles the greedy delta-debug loop always lands on a
+//! 1-minimal failing subset, finds a sole culprit exactly, and is a pure
+//! function of its inputs (deterministic per seed).
+
+use proptest::prelude::*;
+
+use ffccd_workloads::adversary::shrink_subset;
+
+/// A monotone failure oracle seeded from small culprit sets: a mask fails
+/// iff it contains at least one culprit as a subset. This is the shape
+/// real persistence bugs take — some set of lines persisting together
+/// breaks recovery, and any superset still breaks it.
+fn fails_with(culprits: &[u64]) -> impl Fn(u64) -> bool + '_ {
+    move |m: u64| culprits.iter().any(|&c| c != 0 && m & c == c)
+}
+
+fn culprit_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Small culprits (≤ 6 bits) so starting masks usually contain one.
+    proptest::collection::vec((1u64..=u64::MAX).prop_map(|m| m & 0x3F3F_0F0F), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With a single culprit, the shrinker must land on it *exactly*: the
+    /// greedy pass removes every non-culprit bit (the oracle still fails
+    /// without it) and can never remove a culprit bit.
+    #[test]
+    fn single_culprit_is_found_exactly(
+        culprit in (1u64..=u64::MAX).prop_map(|m| m & 0x0FF0_F00F),
+        extra in any::<u64>(),
+    ) {
+        prop_assume!(culprit != 0);
+        let start = culprit | extra;
+        let fails = |m: u64| m & culprit == culprit;
+        let (shrunk, minimal) = shrink_subset(start, fails, usize::MAX);
+        prop_assert_eq!(shrunk, culprit);
+        prop_assert!(minimal);
+    }
+
+    /// On any monotone multi-culprit oracle the result is 1-minimal: it
+    /// still fails, and removing any single remaining line passes.
+    #[test]
+    fn shrunk_mask_is_one_minimal(
+        culprits in culprit_strategy(),
+        extra in any::<u64>(),
+    ) {
+        let fails = fails_with(&culprits);
+        let start = culprits[0] | extra;
+        prop_assume!(fails(start));
+        let (shrunk, minimal) = shrink_subset(start, &fails, usize::MAX);
+        prop_assert!(minimal, "unbounded probes must reach a clean pass");
+        prop_assert!(fails(shrunk), "shrunk mask must still fail");
+        for bit in 0..64 {
+            let b = 1u64 << bit;
+            if shrunk & b != 0 {
+                prop_assert!(
+                    !fails(shrunk & !b),
+                    "bit {} is removable — mask 0x{:x} is not 1-minimal",
+                    bit,
+                    shrunk
+                );
+            }
+        }
+        // 1-minimality of a union oracle means exactly one culprit remains.
+        prop_assert!(
+            culprits.contains(&shrunk),
+            "0x{:x} is not one of the seeded culprits {:x?}",
+            shrunk,
+            culprits
+        );
+    }
+
+    /// The shrinker is a pure function: same starting mask and oracle give
+    /// the same result on every run, and a probe budget only ever changes
+    /// the answer by stopping early (the bounded result is a superset of
+    /// the unbounded one and still fails).
+    #[test]
+    fn shrink_is_deterministic_and_budget_monotone(
+        culprits in culprit_strategy(),
+        extra in any::<u64>(),
+        budget in 1usize..256,
+    ) {
+        let fails = fails_with(&culprits);
+        let start = culprits[0] | extra;
+        prop_assume!(fails(start));
+        let a = shrink_subset(start, &fails, usize::MAX);
+        let b = shrink_subset(start, &fails, usize::MAX);
+        prop_assert_eq!(a, b, "identical inputs must shrink identically");
+        let (bounded, _) = shrink_subset(start, &fails, budget);
+        prop_assert!(fails(bounded), "bounded shrink still returns a failing mask");
+        prop_assert_eq!(
+            bounded & a.0,
+            a.0,
+            "bounded result 0x{:x} must be a superset of the fixpoint 0x{:x}",
+            bounded,
+            a.0
+        );
+    }
+}
