@@ -14,6 +14,13 @@
 //! materialize exactly that maybe-persisted subset at the site before
 //! recovering (without it, the base nothing-persisted image is used).
 //!
+//! The nested campaign (section 7.1d) prints
+//! `(seed=0x…, site=OUTER/INNER, phase=recovery, subset=0xM)` probes: set
+//! `FFCCD_SITE` to the outer site, `FFCCD_RECOVERY_SITE` to the recovery
+//! site, and (optionally) `FFCCD_SUBSET` to the nested mask — the tool
+//! captures the outer image, re-crashes its recovery at the recovery
+//! site, materializes the subset and runs the idempotent-recovery oracle.
+//!
 //! The run configuration matches the campaigns', so the site ID resolves
 //! to the same durability event and the mask to the same lattice entries.
 
@@ -22,6 +29,7 @@ use ffccd_bench::driver_config;
 use ffccd_workloads::adversary::replay_adversary_subset_full;
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::replay_crash_site;
+use ffccd_workloads::nested::replay_nested_subset_full;
 use ffccd_workloads::{AvlTree, LinkedList, Pmemkv, Workload};
 
 fn env(name: &str) -> Option<String> {
@@ -64,6 +72,38 @@ fn main() {
     };
     cfg.pool.data_bytes = 8 << 20;
     cfg.defrag.min_live_bytes = 1 << 12;
+
+    if let Some(rec_site) = env("FFCCD_RECOVERY_SITE").as_deref().map(parse_u64) {
+        let mask = env("FFCCD_SUBSET").as_deref().map(parse_u64).unwrap_or(0);
+        println!(
+            "replaying {workload} / {} seed=0x{seed:x} site={site}/{rec_site} \
+             phase=recovery subset=0x{mask:x}",
+            scheme.label()
+        );
+        match replay_nested_subset_full(&*make, scheme, seed, site, rec_site, mask, &cfg) {
+            None => {
+                println!("site {site}/{rec_site} never fired — wrong seed, workload or config?");
+                std::process::exit(2);
+            }
+            Some(r) => {
+                let (op, maybe_len) = (r.op, r.maybe_len);
+                match r.outcome {
+                    Ok(()) => println!(
+                        "recovery site fired (outer op {op}, nested maybe set {maybe_len}): \
+                         idempotent recovery + validation PASS"
+                    ),
+                    Err(msg) => {
+                        println!(
+                            "recovery site fired (outer op {op}, nested maybe set \
+                             {maybe_len}): FAIL\n  {msg}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        return;
+    }
 
     if let Some(mask) = env("FFCCD_SUBSET").as_deref().map(parse_u64) {
         println!(

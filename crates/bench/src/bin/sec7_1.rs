@@ -28,12 +28,25 @@
 //! `(seed, site_id, subset_bitmask)` triples. `--adversary` runs just
 //! this campaign; add `--smoke` for the CI geometry (4 sites × 32
 //! images).
+//!
+//! A fourth campaign (`--nested`, §7.1d) crashes *recovery itself*: each
+//! captured mutator-phase image is recovered with site tracking armed in
+//! the recovery phase, up to `FFCCD_NESTED_SITES` recovery sites per
+//! outer image (default 8) are captured across `FFCCD_NESTED_OUTER`
+//! outer images (default 16), and up to `FFCCD_NESTED_IMAGES`
+//! maybe-persisted subsets per recovery site (default 64) are
+//! materialized. Each nested image must recover, pass both validators,
+//! and satisfy the idempotence contract — a second `recover()` on the
+//! recovered machine must be a byte-identical no-op. Failures shrink to
+//! replayable `(seed, outer/recovery, subset)` probes. Add `--smoke` for
+//! the CI geometry (6 outer × 3 sites × 16 images).
 
 use ffccd::Scheme;
 use ffccd_bench::{driver_config, header, jobs, rule};
 use ffccd_workloads::adversary::{run_adversary_sweep, AdversaryPlan};
 use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
+use ffccd_workloads::nested::{run_nested_crash_sweep_jobs, NestedPlan};
 use ffccd_workloads::par::parallel_map;
 use ffccd_workloads::{
     AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
@@ -238,16 +251,24 @@ fn adversary_campaign(jobs: usize, smoke: bool) -> u64 {
                 ));
             }
         }
-        (lines, u64::from(!ok))
+        (lines, u64::from(!ok), report.truncated_lattices)
     });
     let mut failures = 0;
-    for (lines, failed) in rows {
+    let mut truncated = 0;
+    for (lines, failed, trunc) in rows {
         for line in lines {
             println!("{line}");
         }
         failures += failed;
+        truncated += trunc;
     }
     rule(92);
+    if truncated > 0 {
+        println!(
+            "adversary: {truncated} lattices extended beyond the 64-entry window \
+             (slide it with FFCCD_ADV_WINDOW)"
+        );
+    }
     println!(
         "adversary: {} settings, {sites} sites x {images} images, jobs {jobs}: {}",
         factories.len() * schemes.len(),
@@ -260,8 +281,156 @@ fn adversary_campaign(jobs: usize, smoke: bool) -> u64 {
     failures
 }
 
+fn nested_outer(smoke: bool) -> u64 {
+    std::env::var("FFCCD_NESTED_OUTER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 6 } else { 16 })
+}
+
+fn nested_sites(smoke: bool) -> u64 {
+    std::env::var("FFCCD_NESTED_SITES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 8 })
+}
+
+fn nested_images(smoke: bool) -> u64 {
+    std::env::var("FFCCD_NESTED_IMAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 16 } else { 64 })
+}
+
+/// Nested-crash campaign (§7.1d): 4 schemes × 3 workloads; recovery runs
+/// on captured outer images with site tracking armed, targeted recovery
+/// sites are captured, and each nested maybe-persisted subset image must
+/// recover idempotently and validate. Settings fan out over `jobs`
+/// threads; each setting's sweep is single-job and deterministic, so rows
+/// (printed in fixed setting order after the join) are job-count-invariant.
+fn nested_campaign(jobs: usize, smoke: bool) -> u64 {
+    header("Section 7.1d: nested-crash exploration (crashes inside recovery)");
+    let factories: Vec<(&str, Factory)> = vec![
+        ("LL", Box::new(|| Box::new(LinkedList::new()))),
+        ("AVL", Box::new(|| Box::new(AvlTree::new()))),
+        ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
+    ];
+    let schemes = [
+        Scheme::Espresso,
+        Scheme::Sfccd,
+        Scheme::FfccdFenceFree,
+        Scheme::FfccdCheckLookup,
+    ];
+    println!(
+        "{:<8} {:<22} {:>6} {:>7} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>8}",
+        "bench",
+        "scheme",
+        "outer",
+        "nested",
+        "rec-site",
+        "capt",
+        "images",
+        "exhaust",
+        "empty",
+        "trunc",
+        "result"
+    );
+    rule(102);
+    let outer = nested_outer(smoke);
+    let sites = nested_sites(smoke);
+    let images = nested_images(smoke);
+    let settings: Vec<(usize, usize)> = (0..factories.len())
+        .flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si)))
+        .collect();
+    let rows = parallel_map(&settings, jobs.max(1), |_, &(wi, si)| {
+        let (name, make) = &factories[wi];
+        let scheme = schemes[si];
+        let seed = 0x9e57ed + wi as u64 * 17 + si as u64;
+        let mut cfg = driver_config(scheme, false, seed);
+        cfg.mix = PhaseMix {
+            init: 1200,
+            phase_ops: 900,
+            phases: 3,
+        };
+        cfg.pool.data_bytes = 8 << 20;
+        cfg.defrag.min_live_bytes = 1 << 12;
+        let plan = NestedPlan::new(seed, outer, sites, images);
+        let report = run_nested_crash_sweep_jobs(&**make, scheme, &plan, &cfg, 1);
+        // Every targeted outer site must fire on replay, at least one
+        // outer image must yield a non-quiescent recovery (else the
+        // campaign explored nothing), and every nested image must pass
+        // the idempotent-recovery oracle.
+        let ok = report.failures.is_empty()
+            && report.outer_captured == report.outer_targeted
+            && report.nested_outer > 0
+            && report.images >= report.captured;
+        let mut lines = vec![format!(
+            "{:<8} {:<22} {:>6} {:>7} {:>8} {:>6} {:>8} {:>7} {:>6} {:>6} {:>8}",
+            name,
+            scheme.label(),
+            report.outer_captured,
+            report.nested_outer,
+            report.recovery_sites,
+            report.captured,
+            report.images,
+            report.exhaustive_sites,
+            report.empty_lattices,
+            report.truncated_lattices,
+            if ok { "PASS" } else { "FAIL" }
+        )];
+        if !ok {
+            for f in report.failures.iter().take(3) {
+                lines.push(format!(
+                    "    {} during {} (op {}, maybe {}): {}{}{}",
+                    f.triple(),
+                    f.kind,
+                    f.op,
+                    f.maybe_len,
+                    f.message,
+                    if f.minimal { " [1-minimal]" } else { "" },
+                    if f.reproduced { " [reproduced]" } else { "" }
+                ));
+            }
+        }
+        (lines, u64::from(!ok), report.truncated_lattices)
+    });
+    let mut failures = 0;
+    let mut truncated = 0;
+    for (lines, failed, trunc) in rows {
+        for line in lines {
+            println!("{line}");
+        }
+        failures += failed;
+        truncated += trunc;
+    }
+    rule(102);
+    if truncated > 0 {
+        println!(
+            "nested: {truncated} lattices extended beyond the 64-entry window \
+             (slide it with FFCCD_ADV_WINDOW)"
+        );
+    }
+    println!(
+        "nested: {} settings, {outer} outer x {sites} sites x {images} images, jobs {jobs}: {}",
+        factories.len() * schemes.len(),
+        if failures == 0 {
+            "ALL PASS (every explored nested crash recovers idempotently)".to_owned()
+        } else {
+            format!("{failures} settings FAILED (probes above replay the minimal subsets)")
+        }
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--nested") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if nested_campaign(jobs(), smoke) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--adversary") {
         let smoke = args.iter().any(|a| a == "--smoke");
         if adversary_campaign(jobs(), smoke) > 0 {

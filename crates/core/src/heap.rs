@@ -116,6 +116,41 @@ pub(crate) struct HeapInner {
     pub last_cycle_start: std::sync::atomic::AtomicU64,
 }
 
+/// What the recovery idempotence gate observed
+/// ([`DefragHeap::open_recovered_idempotent`]): the first recovery's
+/// report, the rerun's report, and FNV-1a fingerprints of the ADR-durable
+/// media taken between and after the two runs. A restartable recovery
+/// satisfies [`RecoveryRerun::is_noop`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryRerun {
+    /// The first (real) recovery's report.
+    pub report: crate::RecoveryReport,
+    /// The second run's report — must find a quiescent heap.
+    pub rerun: crate::RecoveryReport,
+    /// FNV-1a of the ADR-flushed media after the first recovery.
+    pub fingerprint: u64,
+    /// FNV-1a of the ADR-flushed media after the rerun.
+    pub rerun_fingerprint: u64,
+}
+
+impl RecoveryRerun {
+    /// Whether the rerun was a byte-identical no-op on a quiescent heap.
+    pub fn is_noop(&self) -> bool {
+        self.fingerprint == self.rerun_fingerprint && !self.rerun.had_cycle
+    }
+}
+
+/// FNV-1a over the durable media (the fingerprint every pinned crash-image
+/// regression in this repo uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// A persistent heap with crash-consistent concurrent defragmentation.
 ///
 /// Wraps a [`PmPool`] with the paper's modified interfaces: `pmalloc` /
@@ -212,6 +247,53 @@ impl DefragHeap {
             .stats
             .add_cycles(&heap.inner.stats.recovery_cycles, report.cycles);
         Ok((heap, report))
+    }
+
+    /// [`DefragHeap::open_recovered_with_seed`] with the idempotence gate:
+    /// after the scheme's recovery completes, `recover()` is run a *second*
+    /// time on the same machine, and both the durable state (ADR-flushed
+    /// media, FNV-1a fingerprinted before and after the rerun) and the
+    /// second report are returned so callers can assert the rerun was a
+    /// byte-identical no-op. Restartable recovery demands this: a crash
+    /// immediately after recovery's last persist replays the whole
+    /// procedure on its own output.
+    ///
+    /// Only the *first* report's cycles are charged to
+    /// [`GcStats`](crate::GcStats)`::recovery_cycles` — the rerun is gate
+    /// overhead, not recovered work, and charging both runs would double
+    /// the accounting (the stats-conservation regression pins this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolError`] from either recovery or pool opening.
+    pub fn open_recovered_idempotent(
+        image: &ffccd_pmem::CrashImage,
+        restart_seed: Option<u64>,
+        registry: TypeRegistry,
+        cfg: DefragConfig,
+    ) -> Result<(Self, RecoveryRerun), PoolError> {
+        let engine = match restart_seed {
+            Some(seed) => image.restart_with_seed(seed),
+            None => image.restart(),
+        };
+        let report = crate::recovery::recover(&engine, &registry, cfg.scheme)?;
+        let fingerprint = fnv1a(engine.crash_image().media().as_bytes());
+        let rerun = crate::recovery::recover(&engine, &registry, cfg.scheme)?;
+        let rerun_fingerprint = fnv1a(engine.crash_image().media().as_bytes());
+        let pool = PmPool::open(engine, registry)?;
+        let heap = Self::from_pool(pool, cfg);
+        heap.inner
+            .stats
+            .add_cycles(&heap.inner.stats.recovery_cycles, report.cycles);
+        Ok((
+            heap,
+            RecoveryRerun {
+                report,
+                rerun,
+                fingerprint,
+                rerun_fingerprint,
+            },
+        ))
     }
 
     /// Wraps an already-open pool (post-recovery path).

@@ -31,9 +31,9 @@ mod validate;
 mod walk;
 
 pub use config::{DefragConfig, Scheme};
-pub use heap::DefragHeap;
+pub use heap::{DefragHeap, RecoveryRerun};
 pub use phases::phase_sites;
-pub use probe::ProbeId;
+pub use probe::{ProbeId, ProbePhase};
 pub use recovery::{recover, RecoveryReport};
 pub use stats::{GcStats, GcStatsSnapshot};
 pub use validate::{validate_heap, ValidationSummary};

@@ -23,30 +23,93 @@ use std::fmt;
 pub struct ProbeId {
     /// Machine/plan seed of the run.
     pub seed: u64,
-    /// Deterministic crash-site ID within that run.
+    /// Deterministic crash-site ID within that run. For recovery-phase
+    /// probes this packs `outer_site << 32 | recovery_site` (see
+    /// [`ProbeId::nested`]).
     pub site_id: u64,
     /// Subset bitmask over the site's maybe-persisted set.
     pub subset_mask: u64,
+    /// Which tracking window the site belongs to.
+    pub phase: ProbePhase,
+}
+
+/// Which execution phase a probe's crash site was enumerated in — mirrors
+/// `ffccd_pmem::SitePhase`, so `(seed, site_id, phase, subset)` names a
+/// unique, replayable crash outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProbePhase {
+    /// Site fired during workload + defragmentation execution.
+    #[default]
+    Mutator,
+    /// Site fired inside `recover()` running on an outer crash image
+    /// (nested crash: the §7.1d campaign).
+    Recovery,
 }
 
 impl ProbeId {
-    /// Builds the triple.
+    /// Builds a mutator-phase triple.
     pub fn new(seed: u64, site_id: u64, subset_mask: u64) -> Self {
         ProbeId {
             seed,
             site_id,
             subset_mask,
+            phase: ProbePhase::Mutator,
+        }
+    }
+
+    /// Builds a recovery-phase probe: the workload crashed at mutator site
+    /// `outer_site`, recovery ran on that image and was itself crashed at
+    /// `recovery_site`, and `subset_mask` selects the nested image's
+    /// maybe-persisted subset. Both site IDs must fit 32 bits (runs fire
+    /// well under 2³² sites).
+    pub fn nested(seed: u64, outer_site: u64, recovery_site: u64, subset_mask: u64) -> Self {
+        assert!(
+            outer_site < (1 << 32) && recovery_site < (1 << 32),
+            "site ids exceed the 32-bit packing"
+        );
+        ProbeId {
+            seed,
+            site_id: outer_site << 32 | recovery_site,
+            subset_mask,
+            phase: ProbePhase::Recovery,
+        }
+    }
+
+    /// Mutator-phase crash site the recovery ran from (recovery-phase
+    /// probes only; equals `site_id` for mutator probes).
+    pub fn outer_site(&self) -> u64 {
+        match self.phase {
+            ProbePhase::Mutator => self.site_id,
+            ProbePhase::Recovery => self.site_id >> 32,
+        }
+    }
+
+    /// Site within the recovery tracking window (recovery-phase probes).
+    pub fn recovery_site(&self) -> u64 {
+        match self.phase {
+            ProbePhase::Mutator => 0,
+            ProbePhase::Recovery => self.site_id & 0xFFFF_FFFF,
         }
     }
 }
 
 impl fmt::Display for ProbeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(seed=0x{:x}, site={}, subset=0x{:x})",
-            self.seed, self.site_id, self.subset_mask
-        )
+        match self.phase {
+            ProbePhase::Mutator => write!(
+                f,
+                "(seed=0x{:x}, site={}, subset=0x{:x})",
+                self.seed, self.site_id, self.subset_mask
+            ),
+            ProbePhase::Recovery => write!(
+                f,
+                "(seed=0x{:x}, site={}/{}, phase=recovery, subset=0x{:x})",
+                self.seed,
+                self.outer_site(),
+                self.recovery_site(),
+                self.subset_mask
+            ),
+        }
     }
 }
 
@@ -66,5 +129,19 @@ mod tests {
         let b = ProbeId::new(1, 3, 0);
         assert!(a < b);
         assert_eq!(a, ProbeId::new(1, 2, 9));
+    }
+
+    #[test]
+    fn nested_probe_packs_and_displays_both_sites() {
+        let p = ProbeId::nested(0xadfe00, 120_000, 37, 0b101);
+        assert_eq!(p.outer_site(), 120_000);
+        assert_eq!(p.recovery_site(), 37);
+        assert_eq!(p.phase, ProbePhase::Recovery);
+        assert_eq!(
+            p.to_string(),
+            "(seed=0xadfe00, site=120000/37, phase=recovery, subset=0x5)"
+        );
+        // Same (outer, inner) numbers in mutator phase are a distinct probe.
+        assert_ne!(p, ProbeId::new(0xadfe00, 120_000 << 32 | 37, 0b101));
     }
 }

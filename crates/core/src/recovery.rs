@@ -17,15 +17,22 @@
 //!   reached lines (which may hold newer application data) alone
 //!   (Observation 4, Figure 9b).
 //!
-//! The persistent cycle header is a two-commit-point state machine:
-//! `1` is written when the summary phase commits (reservations + PMFT are
-//! durable), and `2` when the terminate fixup's fence completes (all
-//! destination copies and reference rewrites are durable). Under state `2`
-//! the per-scheme disciplines above must *not* run — relocation frames
-//! released by the interrupted teardown have no PMFT entries left, so a
-//! re-copy would overwrite fixed-up destination copies with stale source
-//! references into freed frames. State `2` recovery only completes the
-//! teardown of the surviving entries.
+//! The persistent cycle header is a state machine with three commit
+//! points: `1` is written when the summary phase commits (reservations +
+//! PMFT are durable), `2` when the *mutator's* terminate fixup fence
+//! completes (all destination copies and reference rewrites are durable),
+//! and `3` when *recovery's own* fixup completes and it begins tearing the
+//! cycle down. Under state `2` the per-scheme disciplines above must *not*
+//! run — relocation frames released by the interrupted teardown have no
+//! PMFT entries left, so a re-copy would overwrite fixed-up destination
+//! copies with stale source references into freed frames. State `2`
+//! recovery only completes the teardown of the surviving entries. State
+//! `3` means the classification evidence (reached words) may be partially
+//! wiped, but the moved bitmap — normalized and persisted by the
+//! classification pass — encodes each mapping's fate, so a re-entered
+//! recovery finishes the teardown from the moved bits without
+//! re-classifying. Recovery itself may crash at any point (§7.1d probes
+//! exactly this); every branch is re-runnable.
 //!
 //! The recovery procedure itself is conservative: every write it makes is
 //! immediately persisted (§4.1: "with persist barriers and logging").
@@ -113,35 +120,33 @@ pub fn recover(
         return Ok(report);
     }
 
-    if state >= 2 {
-        // Crash during teardown, after the terminate fixup's commit point:
-        // every destination copy and reference rewrite is already durable,
-        // and some relocation frames may already be released (their PMFT
-        // entries are gone, so their old references cannot be redirected
-        // any more). Re-copying or rewriting references here would roll the
-        // durable fixup back and resurrect pointers into freed frames —
-        // recovery must only *complete* the teardown of the surviving
-        // entries.
+    if state == 3 {
+        // A previous *recovery* crashed during its own teardown. Its
+        // fixup fence already made every copy and reference rewrite
+        // durable, and the moved bitmap (persisted before the state-3
+        // commit) encodes each mapping's fate — finish vacating the
+        // surviving entries from the moved bits alone; re-deriving fates
+        // from the (partially wiped) reached words would misclassify.
         for e in &entries {
-            for _ in e.mappings() {
-                report.already_durable += 1;
-            }
-            let fb = meta.fragmap_byte(e.reloc_frame);
-            let byte = engine.read_u8(&mut ctx, fb) & !(1 << (e.reloc_frame % 8));
-            engine.write(&mut ctx, fb, &[byte]);
-            engine.persist(&mut ctx, fb, 1);
-            // The whole relocation frame is vacated: every object lives at
-            // its destination now.
-            engine.write(&mut ctx, layout.bitmap_record(e.reloc_frame), &[0u8; 64]);
-            engine.persist(&mut ctx, layout.bitmap_record(e.reloc_frame), 64);
-            engine.write(&mut ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
-            engine.persist(&mut ctx, meta.moved_bitmap(e.reloc_frame), 32);
-            engine.write_u64(&mut ctx, meta.reached_word(e.dest_frame), 0);
-            engine.persist(&mut ctx, meta.reached_word(e.dest_frame), 8);
-            pmft.clear(&mut ctx, engine, e.reloc_frame);
+            report.already_durable += e.mappings().count() as u64;
         }
+        teardown_by_moved(&mut ctx, engine, &pmft, &meta, &layout, &entries);
         engine.write_u64(&mut ctx, meta.cycle_header, 0);
         engine.persist(&mut ctx, meta.cycle_header, 16);
+        report.cycles = ctx.cycles();
+        return Ok(report);
+    }
+
+    if state >= 2 {
+        complete_teardown(
+            &mut ctx,
+            engine,
+            &pmft,
+            &meta,
+            &layout,
+            &entries,
+            &mut report,
+        );
         report.cycles = ctx.cycles();
         return Ok(report);
     }
@@ -302,48 +307,21 @@ pub fn recover(
     }
     report.refs_fixed = refs_fixed;
 
-    // Terminate the cycle: clear per-object residue so the pool reopens
-    // quiescent. Moved objects vacate their source slots; undone objects
-    // vacate their destination reservations.
-    for e in &entries {
-        let src_rec_off = layout.bitmap_record(e.reloc_frame);
-        let dst_rec_off = layout.bitmap_record(e.dest_frame);
-        let mut src_rec = record_at(engine, &mut ctx, src_rec_off);
-        let mut dst_rec = record_at(engine, &mut ctx, dst_rec_off);
-        for (src_slot, dst_slot) in e.mappings() {
-            let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
-            let word = engine.read_u64(&mut ctx, src);
-            let total = clamped_total(word, src_slot, dst_slot as usize);
-            let slots = total.div_ceil(SLOT_BYTES) as usize;
-            // Tolerant clearing: the application may have pfree'd a moved
-            // object at its destination mid-cycle, so some bits may already
-            // be clear.
-            match fates.get(&(e.reloc_frame, src_slot)) {
-                Some(Fate::Undone) => {
-                    for i in 0..slots {
-                        dst_rec.mark_freed_single(dst_slot as usize + i);
-                    }
-                }
-                _ => {
-                    for i in 0..slots {
-                        src_rec.mark_freed_single(src_slot + i);
-                    }
-                }
-            }
-        }
-        write_record(engine, &mut ctx, src_rec_off, &src_rec);
-        write_record(engine, &mut ctx, dst_rec_off, &dst_rec);
-        // PMFT entry, frag bit, moved bitmap, reached word all reset.
-        pmft_clear(&mut ctx, engine, &pmft, e.reloc_frame);
-        let fb = meta.fragmap_byte(e.reloc_frame);
-        let byte = engine.read_u8(&mut ctx, fb) & !(1 << (e.reloc_frame % 8));
-        engine.write(&mut ctx, fb, &[byte]);
-        engine.persist(&mut ctx, fb, 1);
-        engine.write(&mut ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
-        engine.persist(&mut ctx, meta.moved_bitmap(e.reloc_frame), 32);
-        engine.write_u64(&mut ctx, meta.reached_word(e.dest_frame), 0);
-        engine.persist(&mut ctx, meta.reached_word(e.dest_frame), 8);
-    }
+    // Terminate the cycle. Clearing per-object residue consumes the very
+    // evidence (reached words, moved bits) a re-run of the classification
+    // above would need: a nested crash mid-teardown used to make the next
+    // recovery re-classify a Durable object as Undone from a half-wiped
+    // reached word and roll its durable reference fixups back into source
+    // slots the first run had already vacated. So recovery commits to its
+    // fates first: after the fixup fence above the moved bitmap encodes
+    // exactly `fate != Undone` for every mapping (the classification pass
+    // normalizes it and persists each bit), and header state 3 says "the
+    // fates are in the moved bits — finish the teardown, do not
+    // re-classify". A crash anywhere past this point re-enters through
+    // the state-3 branch.
+    engine.write_u64(&mut ctx, meta.cycle_header, 3);
+    engine.persist(&mut ctx, meta.cycle_header, 8);
+    teardown_by_moved(&mut ctx, engine, &pmft, &meta, &layout, &entries);
     engine.write_u64(&mut ctx, meta.cycle_header, 0);
     engine.persist(&mut ctx, meta.cycle_header, 16);
 
@@ -409,6 +387,106 @@ fn pmft_clear(ctx: &mut Ctx, engine: &PmEngine, pmft: &Pmft, frame: u64) {
     pmft.clear(ctx, engine, frame);
 }
 
+/// Tears the cycle down under header state 3, driven by the moved bitmap
+/// (moved ⇔ the object lives at its destination): moved objects vacate
+/// their source slots, unmoved (undone) objects vacate their destination
+/// reservations.
+///
+/// The pass must be re-runnable from any interruption point, so per entry
+/// the order is: record surgery (tolerant single-slot clears), frag bit,
+/// reached word, then the PMFT entry as the per-frame commit — and the
+/// moved bitmap is wiped only *after* the entry is gone, because a re-run
+/// consults the moved bits of every surviving entry. A stale moved bitmap
+/// behind a cleared entry is inert: recovery ignores entry-less frames and
+/// the summary phase re-zeroes the bitmap when it arms the frame again.
+fn teardown_by_moved(
+    ctx: &mut Ctx,
+    engine: &PmEngine,
+    pmft: &Pmft,
+    meta: &GcMetaLayout,
+    layout: &PoolLayout,
+    entries: &[PmftEntry],
+) {
+    for e in entries {
+        let src_rec_off = layout.bitmap_record(e.reloc_frame);
+        let dst_rec_off = layout.bitmap_record(e.dest_frame);
+        let mut src_rec = record_at(engine, ctx, src_rec_off);
+        let mut dst_rec = record_at(engine, ctx, dst_rec_off);
+        for (src_slot, dst_slot) in e.mappings() {
+            let src = layout.frame_start(e.reloc_frame) + src_slot as u64 * SLOT_BYTES;
+            let word = engine.read_u64(ctx, src);
+            let total = clamped_total(word, src_slot, dst_slot as usize);
+            let slots = total.div_ceil(SLOT_BYTES) as usize;
+            // Tolerant clearing: the application may have pfree'd a moved
+            // object at its destination mid-cycle, and a re-run repeats
+            // clears a prior run already made.
+            if read_moved(ctx, engine, meta, e.reloc_frame, src_slot) {
+                for i in 0..slots {
+                    src_rec.mark_freed_single(src_slot + i);
+                }
+            } else {
+                for i in 0..slots {
+                    dst_rec.mark_freed_single(dst_slot as usize + i);
+                }
+            }
+        }
+        write_record(engine, ctx, src_rec_off, &src_rec);
+        write_record(engine, ctx, dst_rec_off, &dst_rec);
+        let fb = meta.fragmap_byte(e.reloc_frame);
+        let byte = engine.read_u8(ctx, fb) & !(1 << (e.reloc_frame % 8));
+        engine.write(ctx, fb, &[byte]);
+        engine.persist(ctx, fb, 1);
+        engine.write_u64(ctx, meta.reached_word(e.dest_frame), 0);
+        engine.persist(ctx, meta.reached_word(e.dest_frame), 8);
+        pmft_clear(ctx, engine, pmft, e.reloc_frame);
+        engine.write(ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
+        engine.persist(ctx, meta.moved_bitmap(e.reloc_frame), 32);
+    }
+}
+
+/// Completes an interrupted teardown (state ≥ 2).
+///
+/// Every destination copy and reference rewrite is already durable, and
+/// some relocation frames may already be released (their PMFT entries are
+/// gone, so their old references cannot be redirected any more).
+/// Re-copying or rewriting references here would roll the durable fixup
+/// back and resurrect pointers into freed frames — this pass only
+/// *completes* the teardown of the surviving entries. Per entry the order
+/// is frag bit → frame release → moved/reached wipe → PMFT entry last
+/// (mirroring `finish_cycle`), so recovery itself crashing mid-entry
+/// leaves that entry's PMFT record in place and a re-run repeats the
+/// idempotent wipes.
+fn complete_teardown(
+    ctx: &mut Ctx,
+    engine: &PmEngine,
+    pmft: &Pmft,
+    meta: &GcMetaLayout,
+    layout: &PoolLayout,
+    entries: &[PmftEntry],
+    report: &mut RecoveryReport,
+) {
+    for e in entries {
+        for _ in e.mappings() {
+            report.already_durable += 1;
+        }
+        let fb = meta.fragmap_byte(e.reloc_frame);
+        let byte = engine.read_u8(ctx, fb) & !(1 << (e.reloc_frame % 8));
+        engine.write(ctx, fb, &[byte]);
+        engine.persist(ctx, fb, 1);
+        // The whole relocation frame is vacated: every object lives at
+        // its destination now.
+        engine.write(ctx, layout.bitmap_record(e.reloc_frame), &[0u8; 64]);
+        engine.persist(ctx, layout.bitmap_record(e.reloc_frame), 64);
+        engine.write(ctx, meta.moved_bitmap(e.reloc_frame), &[0u8; 32]);
+        engine.persist(ctx, meta.moved_bitmap(e.reloc_frame), 32);
+        engine.write_u64(ctx, meta.reached_word(e.dest_frame), 0);
+        engine.persist(ctx, meta.reached_word(e.dest_frame), 8);
+        pmft.clear(ctx, engine, e.reloc_frame);
+    }
+    engine.write_u64(ctx, meta.cycle_header, 0);
+    engine.persist(ctx, meta.cycle_header, 16);
+}
+
 /// Rolls back reservations persisted by a summary phase that never reached
 /// its commit point.
 fn rollback_summary(
@@ -434,10 +512,15 @@ fn rollback_summary(
             }
         }
         write_record(engine, ctx, dst_rec_off, &dst_rec);
-        pmft.clear(ctx, engine, e.reloc_frame);
+        // Frag bit before the PMFT entry: the entry is what makes this
+        // frame's rollback re-runnable, so it must outlive every other
+        // clear (a crash after an early entry-clear would leave the frag
+        // bit stale forever — a state-0 re-run with no entries returns
+        // immediately).
         let fb = meta.fragmap_byte(e.reloc_frame);
         let byte = engine.read_u8(ctx, fb) & !(1 << (e.reloc_frame % 8));
         engine.write(ctx, fb, &[byte]);
         engine.persist(ctx, fb, 1);
+        pmft.clear(ctx, engine, e.reloc_frame);
     }
 }

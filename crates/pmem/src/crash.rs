@@ -78,6 +78,15 @@ impl MaybeSet {
         self.entries.len().min(64) as u32
     }
 
+    /// Number of entries addressable by a subset bitmask whose window
+    /// starts at entry `base` (≤ 64). Large maybe-sets (measured up to
+    /// 2130 lines under fence-free) exceed one 64-bit mask; sliding the
+    /// base makes the deep entries reachable
+    /// ([`CrashImage::with_persisted_subset_at`]).
+    pub fn window_at(&self, base: usize) -> u32 {
+        self.entries.len().saturating_sub(base).min(64) as u32
+    }
+
     /// The mask selecting every in-window entry.
     pub fn full_mask(&self) -> u64 {
         match self.window() {
@@ -87,6 +96,31 @@ impl MaybeSet {
         }
     }
 }
+
+/// A subset bitmask addressed entries outside the maybe-set's mask window:
+/// silently dropping those bits would make a "validated" subset image a
+/// lie, so materialization rejects the mask instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubsetMaskError {
+    /// The offending mask.
+    pub mask: u64,
+    /// Entries addressable from `base` (bits `0..window` are valid).
+    pub window: u32,
+    /// First maybe-set entry the window covers.
+    pub base: usize,
+}
+
+impl std::fmt::Display for SubsetMaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "subset mask 0x{:x} selects entries beyond the {}-entry window at base {}",
+            self.mask, self.window, self.base
+        )
+    }
+}
+
+impl std::error::Error for SubsetMaskError {}
 
 /// What the persistent media contains after a simulated power failure.
 ///
@@ -139,11 +173,47 @@ impl CrashImage {
     /// order the hardware would have written them. A selected *pending*
     /// line also applies its reached-bitmap fixup: the reached bit is
     /// recorded atomically with the line's drain, so any image containing
-    /// the line must contain the bit. Bits at or beyond
-    /// [`MaybeSet::window`] are ignored.
+    /// the line must contain the bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` has bits at or beyond [`MaybeSet::window`] —
+    /// those entries cannot be addressed from base 0; use
+    /// [`CrashImage::with_persisted_subset_at`] to slide the window
+    /// instead of silently dropping them.
     pub fn with_persisted_subset(&self, maybe: &MaybeSet, mask: u64) -> CrashImage {
+        match self.with_persisted_subset_at(maybe, mask, 0) {
+            Ok(image) => image,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CrashImage::with_persisted_subset`] over the 64-entry window
+    /// starting at maybe-set entry `base`: mask bit `i` selects entry
+    /// `base + i`. Entries outside the window stay unpersisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubsetMaskError`] when `mask` has bits at or beyond
+    /// [`MaybeSet::window_at`]`(base)` — every validated image must
+    /// materialize exactly the subset its mask names.
+    pub fn with_persisted_subset_at(
+        &self,
+        maybe: &MaybeSet,
+        mask: u64,
+        base: usize,
+    ) -> Result<CrashImage, SubsetMaskError> {
+        let window = maybe.window_at(base);
+        let valid = match window {
+            0 => 0,
+            64 => u64::MAX,
+            w => (1u64 << w) - 1,
+        };
+        if mask & !valid != 0 {
+            return Err(SubsetMaskError { mask, window, base });
+        }
         let mut media = self.media.clone();
-        for (i, e) in maybe.entries().iter().take(64).enumerate() {
+        for (i, e) in maybe.entries().iter().skip(base).take(64).enumerate() {
             if mask & (1u64 << i) == 0 {
                 continue;
             }
@@ -153,7 +223,7 @@ impl CrashImage {
                 media.write_u64(word, cur | or_mask);
             }
         }
-        CrashImage::new(media, self.cfg.clone())
+        Ok(CrashImage::new(media, self.cfg.clone()))
     }
 }
 
@@ -256,5 +326,57 @@ mod tests {
             vec![0x00],
             "entry 64 is outside the mask window"
         );
+    }
+
+    #[test]
+    fn out_of_window_mask_is_rejected_explicitly() {
+        let img = CrashImage::new(Media::new(64 * 8), MachineConfig::default());
+        let maybe = MaybeSet::new((0..3).map(|i| maybe_entry(i, 0x5A, None)).collect());
+        let err = img
+            .with_persisted_subset_at(&maybe, 0b1000, 0)
+            .expect_err("bit 3 is beyond the 3-entry window");
+        assert_eq!(
+            err,
+            SubsetMaskError {
+                mask: 0b1000,
+                window: 3,
+                base: 0
+            }
+        );
+        assert!(err.to_string().contains("0x8"));
+        // In-window masks still materialize.
+        assert!(img.with_persisted_subset_at(&maybe, 0b111, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 3-entry window")]
+    fn with_persisted_subset_panics_on_out_of_window_mask() {
+        let img = CrashImage::new(Media::new(64 * 8), MachineConfig::default());
+        let maybe = MaybeSet::new((0..3).map(|i| maybe_entry(i, 0x5A, None)).collect());
+        let _ = img.with_persisted_subset(&maybe, 0b1_0000);
+    }
+
+    #[test]
+    fn sliding_base_reaches_deep_entries() {
+        let img = CrashImage::new(Media::new(64 * 128), MachineConfig::default());
+        let maybe = MaybeSet::new((0..70).map(|i| maybe_entry(i, 0x5A, None)).collect());
+        assert_eq!(maybe.window_at(0), 64);
+        assert_eq!(maybe.window_at(64), 6);
+        assert_eq!(maybe.window_at(70), 0);
+        // Bit 0 at base 64 selects entry 64 — unreachable from base 0.
+        let sub = img
+            .with_persisted_subset_at(&maybe, 0b1, 64)
+            .expect("in-window at base 64");
+        assert_eq!(sub.media().read_vec(64 * 64, 1), vec![0x5A]);
+        assert_eq!(
+            sub.media().read_vec(0, 1),
+            vec![0x00],
+            "entries below the base stay unpersisted"
+        );
+        let err = img
+            .with_persisted_subset_at(&maybe, 0b100_0000, 64)
+            .expect_err("only 6 entries remain at base 64");
+        assert_eq!(err.window, 6);
+        assert_eq!(err.base, 64);
     }
 }

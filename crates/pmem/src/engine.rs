@@ -38,7 +38,7 @@ use crate::crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet};
 use crate::ctx::Ctx;
 use crate::media::Media;
 use crate::observer::PersistObserver;
-use crate::sites::{SiteCapture, SiteKind, SiteSummary, SiteTracker};
+use crate::sites::{SiteCapture, SiteKind, SitePhase, SiteSummary, SiteTracker};
 use crate::stats::EngineStats;
 use crate::timing::MachineConfig;
 use crate::wpq::{Wpq, WpqEntry};
@@ -510,8 +510,20 @@ impl PmEngine {
     ///
     /// Panics unless the engine runs in deterministic mode (one bank).
     pub fn site_tracking_enumerate(&self) {
+        self.site_tracking_enumerate_phase(SitePhase::Mutator);
+    }
+
+    /// [`PmEngine::site_tracking_enumerate`] with an explicit
+    /// [`SitePhase`]: arm with [`SitePhase::Recovery`] around `recover()`
+    /// on a restarted crash image to enumerate the recovery procedure's
+    /// own durability events (the §7.1d nested-crash campaign).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the engine runs in deterministic mode (one bank).
+    pub fn site_tracking_enumerate_phase(&self, phase: SitePhase) {
         self.assert_deterministic("site_tracking_enumerate");
-        self.shared.sites.lock().start_enumerate();
+        self.shared.sites.lock().start_enumerate(phase);
         self.shared.sites_active.store(true, Ordering::Release);
     }
 
@@ -525,8 +537,19 @@ impl PmEngine {
     ///
     /// Panics unless the engine runs in deterministic mode (one bank).
     pub fn site_tracking_capture(&self, targets: BTreeSet<u64>) {
+        self.site_tracking_capture_phase(targets, SitePhase::Mutator);
+    }
+
+    /// [`PmEngine::site_tracking_capture`] with an explicit [`SitePhase`]
+    /// stamped on every captured trace (see
+    /// [`PmEngine::site_tracking_enumerate_phase`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the engine runs in deterministic mode (one bank).
+    pub fn site_tracking_capture_phase(&self, targets: BTreeSet<u64>, phase: SitePhase) {
         self.assert_deterministic("site_tracking_capture");
-        self.shared.sites.lock().start_capture(targets);
+        self.shared.sites.lock().start_capture(targets, phase);
         self.shared.sites_active.store(true, Ordering::Release);
     }
 

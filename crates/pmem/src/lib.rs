@@ -53,12 +53,12 @@ mod wpq;
 
 pub use addr::{line_of, line_start, lines_spanning, Line, CACHELINE_BYTES};
 pub use cache::{CacheLine, CacheSim};
-pub use crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet};
+pub use crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet, SubsetMaskError};
 pub use ctx::{CounterSink, Ctx, COUNTER_SLOTS};
 pub use engine::PmEngine;
 pub use media::Media;
 pub use observer::{NullObserver, PersistObserver};
-pub use sites::{SiteCapture, SiteKind, SiteSummary, SiteTrace};
+pub use sites::{SiteCapture, SiteKind, SitePhase, SiteSummary, SiteTrace};
 pub use stats::{EngineStats, ThreadStats};
 pub use timing::MachineConfig;
 pub use tlb::Tlb;

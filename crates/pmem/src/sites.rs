@@ -93,6 +93,35 @@ impl SiteKind {
     }
 }
 
+/// Which execution phase a tracking window (and every site fired inside
+/// it) belongs to.
+///
+/// Mutator-phase sites are the PR 1–4 crash sites: events fired while the
+/// workload + defragmenter run. Recovery-phase sites are fired by
+/// `recover()` itself running on a restarted crash image — the §7.1d
+/// nested-crash campaign arms tracking around recovery, so a crash *inside
+/// recovery* is as replayable as one inside the mutator. Site IDs restart
+/// at 0 per tracking window, so a replayable probe is
+/// `(seed, site_id, phase, subset)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SitePhase {
+    /// Workload + defragmentation execution (the default window).
+    #[default]
+    Mutator,
+    /// Inside `recover()` on a restarted crash image.
+    Recovery,
+}
+
+impl SitePhase {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SitePhase::Mutator => "mutator",
+            SitePhase::Recovery => "recovery",
+        }
+    }
+}
+
 /// Identity of one fired crash site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SiteTrace {
@@ -104,6 +133,8 @@ pub struct SiteTrace {
     /// Event-specific detail: the affected line's start offset for memory
     /// events, the phase code for [`SiteKind::Phase`].
     pub detail: u64,
+    /// Which execution phase the tracking window was armed for.
+    pub phase: SitePhase,
 }
 
 /// A crash image captured at a targeted site.
@@ -128,6 +159,12 @@ pub struct SiteSummary {
     pub total: u64,
     /// Per-kind event counts, indexable via [`SiteSummary::count`].
     pub counts: [u64; SiteKind::ALL.len()],
+    /// `(site_id, phase_code)` of every [`SiteKind::Phase`] event, in
+    /// firing order. Lets sweeps locate GC-cycle windows in the site-ID
+    /// space without capturing anything (e.g. the nested-crash explorer
+    /// targets outer sites between cycle arm and terminate, where
+    /// recovery actually has work to redo).
+    pub phase_marks: Vec<(u64, u64)>,
 }
 
 impl SiteSummary {
@@ -161,23 +198,27 @@ enum Mode {
 #[derive(Debug, Default)]
 pub(crate) struct SiteTracker {
     mode: Mode,
+    phase: SitePhase,
     next_id: u64,
     counts: [u64; SiteKind::ALL.len()],
+    phase_marks: Vec<(u64, u64)>,
     targets: BTreeSet<u64>,
     captures: Vec<SiteCapture>,
 }
 
 impl SiteTracker {
-    pub(crate) fn start_enumerate(&mut self) {
+    pub(crate) fn start_enumerate(&mut self, phase: SitePhase) {
         *self = SiteTracker {
             mode: Mode::Enumerate,
+            phase,
             ..SiteTracker::default()
         };
     }
 
-    pub(crate) fn start_capture(&mut self, targets: BTreeSet<u64>) {
+    pub(crate) fn start_capture(&mut self, targets: BTreeSet<u64>, phase: SitePhase) {
         *self = SiteTracker {
             mode: Mode::Capture,
+            phase,
             targets,
             ..SiteTracker::default()
         };
@@ -187,6 +228,7 @@ impl SiteTracker {
         let summary = SiteSummary {
             total: self.next_id,
             counts: self.counts,
+            phase_marks: std::mem::take(&mut self.phase_marks),
         };
         self.mode = Mode::Off;
         self.targets.clear();
@@ -198,10 +240,14 @@ impl SiteTracker {
         let id = self.next_id;
         self.next_id += 1;
         self.counts[kind.index()] += 1;
+        if kind == SiteKind::Phase {
+            self.phase_marks.push((id, detail));
+        }
         (self.mode == Mode::Capture && self.targets.contains(&id)).then_some(SiteTrace {
             id,
             kind,
             detail,
+            phase: self.phase,
         })
     }
 
@@ -221,27 +267,43 @@ mod tests {
     #[test]
     fn ids_are_sequential_and_counted() {
         let mut t = SiteTracker::default();
-        t.start_enumerate();
+        t.start_enumerate(SitePhase::Mutator);
         assert!(t.note(SiteKind::Store, 0).is_none());
+        assert!(t.note(SiteKind::Phase, 1).is_none());
         assert!(t.note(SiteKind::Clwb, 64).is_none());
         assert!(t.note(SiteKind::Store, 128).is_none());
+        assert!(t.note(SiteKind::Phase, 3).is_none());
         let s = t.stop();
-        assert_eq!(s.total, 3);
+        assert_eq!(s.total, 5);
         assert_eq!(s.count(SiteKind::Store), 2);
         assert_eq!(s.count(SiteKind::Clwb), 1);
-        assert_eq!(s.nonzero().len(), 2);
+        assert_eq!(s.nonzero().len(), 3);
+        // Phase marks pin each transition to its site ID, in firing order.
+        assert_eq!(s.phase_marks, vec![(1, 1), (4, 3)]);
     }
 
     #[test]
     fn capture_fires_only_on_targets() {
         let mut t = SiteTracker::default();
-        t.start_capture([1u64].into_iter().collect());
+        t.start_capture([1u64].into_iter().collect(), SitePhase::Mutator);
         assert!(t.note(SiteKind::Store, 0).is_none());
         let trace = t.note(SiteKind::Sfence, 0).expect("site 1 targeted");
         assert_eq!(trace.id, 1);
         assert_eq!(trace.kind, SiteKind::Sfence);
+        assert_eq!(trace.phase, SitePhase::Mutator);
         assert!(t.note(SiteKind::Store, 0).is_none());
         assert_eq!(t.stop().total, 3);
+    }
+
+    #[test]
+    fn recovery_phase_window_stamps_its_traces() {
+        let mut t = SiteTracker::default();
+        t.start_capture([0u64].into_iter().collect(), SitePhase::Recovery);
+        let trace = t.note(SiteKind::Clwb, 64).expect("site 0 targeted");
+        assert_eq!(trace.phase, SitePhase::Recovery);
+        // A fresh window resets the phase back to the mutator default.
+        t.start_enumerate(SitePhase::Mutator);
+        assert_eq!(t.phase, SitePhase::Mutator);
     }
 
     #[test]

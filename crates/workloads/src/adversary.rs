@@ -50,7 +50,20 @@ use crate::workload::Workload;
 
 /// Probe budget for one greedy shrink: popcount ≤ 64 per pass, a handful
 /// of passes to fixpoint. Each probe is one image recovery + validation.
-const SHRINK_MAX_PROBES: usize = 2048;
+pub(crate) const SHRINK_MAX_PROBES: usize = 2048;
+
+/// First maybe-set entry the 64-bit subset window covers, from the
+/// `FFCCD_ADV_WINDOW` environment variable (default 0). Fence-free
+/// maybe-sets run to thousands of lines — far past one mask — so sliding
+/// the window makes the deep entries reachable; sites whose sets still
+/// extend beyond the explored window are counted as *truncated lattices*
+/// in the sweep reports instead of being silently cut off.
+pub(crate) fn adv_window_base() -> usize {
+    std::env::var("FFCCD_ADV_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 /// How an adversarial exploration chooses and bounds its work.
 #[derive(Clone, Debug)]
@@ -123,6 +136,9 @@ pub struct AdversaryReport {
     pub exhaustive_sites: u64,
     /// Sites with an empty maybe-persisted set (base image only).
     pub empty_lattices: u64,
+    /// Sites whose maybe-persisted set extends beyond the explored 64-bit
+    /// window (slide it with `FFCCD_ADV_WINDOW` to reach deeper entries).
+    pub truncated_lattices: u64,
     /// Largest maybe-persisted set seen (may exceed the 64-line window).
     pub max_maybe: usize,
     /// Validation failures, shrunk to minimal subsets where possible. At
@@ -271,6 +287,7 @@ pub fn run_adversary_sweep_jobs(
         report.images += tally.images;
         report.exhaustive_sites += tally.exhaustive_sites;
         report.empty_lattices += tally.empty_lattices;
+        report.truncated_lattices += tally.truncated_lattices;
         report.max_maybe = report.max_maybe.max(tally.max_maybe);
         report.failures.extend(tally.failures);
     }
@@ -302,6 +319,7 @@ struct AdvTally {
     images: u64,
     exhaustive_sites: u64,
     empty_lattices: u64,
+    truncated_lattices: u64,
     max_maybe: usize,
     failures: Vec<AdversaryFailure>,
 }
@@ -381,17 +399,20 @@ fn explore_site(
     if cap.maybe.is_empty() {
         tally.empty_lattices += 1;
     }
-    let (masks, exhaustive) = choose_masks(
-        cap.maybe.window(),
-        plan.images_per_site,
-        plan.seed,
-        cap.site.id,
-    );
+    let base = adv_window_base();
+    let window = cap.maybe.window_at(base);
+    if cap.maybe.len() > base + window as usize {
+        tally.truncated_lattices += 1;
+    }
+    let (masks, exhaustive) = choose_masks(window, plan.images_per_site, plan.seed, cap.site.id);
     if exhaustive {
         tally.exhaustive_sites += 1;
     }
     let check = |mask: u64| -> Result<(), String> {
-        let image = cap.image.with_persisted_subset(&cap.maybe, mask);
+        let image = cap
+            .image
+            .with_persisted_subset_at(&cap.maybe, mask, base)
+            .map_err(|e| e.to_string())?;
         validate_capture(&image, defrag, make_workload, live_before, live_after).map(|_| ())
     };
     for mask in masks {
@@ -451,7 +472,22 @@ pub fn replay_adversary_subset_full(
 ) -> Option<SubsetReplay> {
     let defrag = fault_defrag(scheme);
     let run = run_single_site(make_workload, scheme, seed, site_id, cfg)?;
-    let image = run.cap.image.with_persisted_subset(&run.cap.maybe, mask);
+    let base = adv_window_base();
+    let image = match run
+        .cap
+        .image
+        .with_persisted_subset_at(&run.cap.maybe, mask, base)
+    {
+        Ok(image) => image,
+        Err(e) => {
+            return Some(SubsetReplay {
+                op: run.op,
+                maybe_len: run.cap.maybe.len(),
+                outcome: Err(e.to_string()),
+                image: run.cap.image,
+            })
+        }
+    };
     Some(SubsetReplay {
         op: run.op,
         maybe_len: run.cap.maybe.len(),

@@ -530,6 +530,10 @@ pub struct SiteReplay {
     pub op: u64,
     /// The crash image captured right after the site's event.
     pub image: CrashImage,
+    /// The ambiguous lines at that instant; subsets of them materialize
+    /// alternative legal ADR outcomes over `image` without re-running the
+    /// workload ([`CrashImage::with_persisted_subset_at`]).
+    pub maybe: ffccd_pmem::MaybeSet,
     /// Recovery + two-checker validation outcome.
     pub outcome: Result<(), String>,
 }
@@ -574,6 +578,7 @@ pub fn replay_crash_site_full(
         )
         .map(|_| ()),
         image: run.cap.image,
+        maybe: run.cap.maybe,
     })
 }
 

@@ -9,9 +9,10 @@
 //!   (Figure 16);
 //! * the [`driver`] running the paper's insert/delete phase mix while
 //!   pumping concurrent defragmentation and sampling fragmentation;
-//! * the §7.1 [`faults`] fault-injection harness and the [`adversary`]
+//! * the §7.1 [`faults`] fault-injection harness, the [`adversary`]
 //!   explorer that enumerates maybe-persisted subsets at captured crash
-//!   sites.
+//!   sites, and the [`nested`] explorer that crashes *recovery itself*
+//!   and demands idempotent re-recovery (§7.1d).
 //!
 //! Every structure is built strictly on the `ffccd::DefragHeap` public API:
 //! typed allocation, persistent pointers through `load_ref`/`store_ref`
@@ -22,6 +23,7 @@
 pub mod adversary;
 pub mod driver;
 pub mod faults;
+pub mod nested;
 pub mod par;
 pub mod util;
 

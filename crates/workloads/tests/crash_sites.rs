@@ -12,6 +12,7 @@ use ffccd_workloads::faults::{
     replay_crash_site, replay_crash_site_full, run_crash_site_sweep, run_crash_site_sweep_jobs,
     CrashPlan,
 };
+use ffccd_workloads::nested::{replay_nested_subset_full, run_nested_crash_sweep_jobs, NestedPlan};
 use ffccd_workloads::{AvlTree, LinkedList, Workload};
 
 fn sweep_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
@@ -308,6 +309,173 @@ fn sweep_report_is_job_count_invariant() {
     assert_eq!(a.recovered_objects, b.recovered_objects);
     assert_eq!(a.undone_objects, b.undone_objects);
     assert!(a.failures.is_empty() && b.failures.is_empty());
+}
+
+/// §7.1d regression probes: `(seed, outer_site/recovery_site, phase=recovery,
+/// subset)` nested images pinned byte-for-byte. Each case re-crashes
+/// `recover()` itself at a tracked recovery-phase durability event on a
+/// captured outer image, materializes the chosen nested subset, and must
+/// reproduce the same outer firing op, nested maybe-set size and media
+/// FNV-1a forever — plus pass the idempotent-recovery oracle (recover,
+/// fingerprint, recover again, byte-identical no-op).
+#[test]
+fn pinned_nested_triples_replay_byte_identically() {
+    /// (workload, factory, scheme, seed, outer, rec_site, mask, maybe_len,
+    /// op, FNV).
+    type PinnedCase<'a> = (
+        &'a str,
+        &'a dyn Fn() -> Box<dyn Workload>,
+        Scheme,
+        u64,
+        u64,
+        u64,
+        u64,
+        usize,
+        u64,
+        u64,
+    );
+    let make_ll: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(LinkedList::new());
+    #[rustfmt::skip]
+    let pinned: Vec<PinnedCase<'_>> = vec![
+        ("LL", make_ll, Scheme::Sfccd,          0x517e01, 271422, 0,  0x0, 1, 3322, 0x6b4b559862761232),
+        ("LL", make_ll, Scheme::Sfccd,          0x517e01, 271422, 20, 0x1, 1, 3322, 0x390c438820dec55c),
+        ("LL", make_ll, Scheme::FfccdFenceFree, 0x517e02, 93273,  60, 0x0, 1, 1750, 0x41fc43f389c92fd1),
+        ("LL", make_ll, Scheme::FfccdFenceFree, 0x517e03, 347428, 5,  0x1, 1, 3542, 0xbde7149406059d95),
+    ];
+    for (name, make, scheme, seed, outer, rec_site, mask, maybe_len, op, hash) in pinned {
+        let cfg = sec71_cfg(scheme, seed);
+        let r = replay_nested_subset_full(make, scheme, seed, outer, rec_site, mask, &cfg)
+            .expect("pinned recovery-phase site must fire");
+        assert_eq!(
+            r.op, op,
+            "{name} {scheme:?} ({seed:#x}, {outer}/{rec_site}, {mask:#x}): outer op moved"
+        );
+        assert_eq!(
+            r.maybe_len, maybe_len,
+            "{name} {scheme:?} ({seed:#x}, {outer}/{rec_site}, {mask:#x}): maybe-set size moved"
+        );
+        assert_eq!(
+            fnv1a(r.image.media().as_bytes()),
+            hash,
+            "{name} {scheme:?} ({seed:#x}, {outer}/{rec_site}, {mask:#x}): nested image bytes moved"
+        );
+        assert!(
+            r.outcome.is_ok(),
+            "{name} {scheme:?} ({seed:#x}, {outer}/{rec_site}, {mask:#x}) regressed: {:?}",
+            r.outcome
+        );
+    }
+}
+
+/// Idempotence gate over the pinned mid-cycle regression images: recovery
+/// must reach a quiescent heap in ONE pass. `open_recovered_idempotent`
+/// fingerprints the media, reruns `recover()`, and the rerun must be a
+/// byte-identical no-op (same FNV-1a, no cycle found, nothing
+/// reclassified). Any recovery step that defers work to "the next boot"
+/// — or worse, re-consumes evidence it already tore down — diverges here.
+#[test]
+fn recovery_is_idempotent_at_pinned_sites() {
+    /// (factory, scheme, seed, site).
+    type PinnedCase<'a> = (&'a dyn Fn() -> Box<dyn Workload>, Scheme, u64, u64);
+    let make_ll: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(LinkedList::new());
+    let make_avl: &dyn Fn() -> Box<dyn Workload> = &|| Box::new(AvlTree::new());
+    #[rustfmt::skip]
+    let cases: Vec<PinnedCase<'_>> = vec![
+        (make_ll,  Scheme::Sfccd,           0x517e01, 271422),
+        (make_ll,  Scheme::FfccdFenceFree,  0x517e02, 93273),
+        (make_ll,  Scheme::FfccdFenceFree,  0x517e02, 347428),
+        (make_avl, Scheme::Sfccd,           0x517e12, 262140),
+        (make_avl, Scheme::FfccdFenceFree,  0x517e13, 683398),
+        (make_ll,  Scheme::Espresso,        0x517e21, 60000),
+    ];
+    for (make, scheme, seed, site) in cases {
+        let cfg = sec71_cfg(scheme, seed);
+        let r = replay_crash_site_full(make, scheme, seed, site, &cfg)
+            .expect("regression site must fire");
+        let (heap, rerun) =
+            DefragHeap::open_recovered_idempotent(&r.image, None, make().registry(), cfg.defrag)
+                .expect("recovery must succeed");
+        assert!(
+            rerun.is_noop(),
+            "{scheme:?} ({seed:#x}, {site}): recovery not idempotent — \
+             fingerprints {:#x} vs {:#x}, rerun {:?}",
+            rerun.fingerprint,
+            rerun.rerun_fingerprint,
+            rerun.rerun
+        );
+        ffccd::validate_heap(&heap)
+            .unwrap_or_else(|e| panic!("{scheme:?} ({seed:#x}, {site}): {e:?}"));
+    }
+}
+
+/// Stats conservation: the idempotence gate runs `recover()` twice, but
+/// only the FIRST report's cycle count may land in
+/// `GcStats::recovery_cycles` — the rerun is a gate, not a second
+/// recovery. A double-add here once inflated recovery cycle counts by
+/// exactly 2x on every idempotent open.
+#[test]
+fn recovery_cycles_are_counted_once() {
+    let scheme = Scheme::Sfccd;
+    let (seed, site) = (0x517e01, 271422);
+    let cfg = sec71_cfg(scheme, seed);
+    let r = replay_crash_site_full(&make_ll, scheme, seed, site, &cfg)
+        .expect("regression site must fire");
+    let (heap, rerun) =
+        DefragHeap::open_recovered_idempotent(&r.image, None, make_ll().registry(), cfg.defrag)
+            .expect("recovery must succeed");
+    assert!(
+        rerun.report.had_cycle,
+        "pinned site must crash mid-cycle for this test to bite"
+    );
+    assert!(
+        rerun.rerun.cycles > 0,
+        "even a no-op rerun consumes cycles reading the header — if this \
+         is 0 the double-add below can't be detected"
+    );
+    assert_eq!(
+        heap.gc_stats().recovery_cycles,
+        rerun.report.cycles,
+        "recovery_cycles must equal the first report's cycles alone — the \
+         rerun is an idempotence gate, its {} cycles are not recovery work",
+        rerun.rerun.cycles
+    );
+    // The plain (single-recovery) open agrees on the same image.
+    let (heap2, report2) = DefragHeap::open_recovered(&r.image, make_ll().registry(), cfg.defrag)
+        .expect("recovery must succeed");
+    assert_eq!(heap2.gc_stats().recovery_cycles, report2.cycles);
+    assert_eq!(report2.cycles, rerun.report.cycles);
+}
+
+/// Chunked nested sweeps must merge to exactly the sequential report at
+/// every job count (outer targets are split round-robin; tallies merge by
+/// summation and failures sort by probe).
+#[test]
+fn nested_sweep_report_is_job_count_invariant() {
+    let seed = 0xC0FFEE;
+    let scheme = Scheme::FfccdFenceFree;
+    let cfg = sweep_cfg(scheme, seed);
+    let plan = NestedPlan::new(seed, 4, 2, 8);
+    let a = run_nested_crash_sweep_jobs(&make_ll, scheme, &plan, &cfg, 1);
+    let b = run_nested_crash_sweep_jobs(&make_ll, scheme, &plan, &cfg, 3);
+    assert_eq!(a.total_sites, b.total_sites);
+    assert_eq!(a.cycle_sites, b.cycle_sites);
+    assert_eq!(a.outer_targeted, b.outer_targeted);
+    assert_eq!(a.outer_captured, b.outer_captured);
+    assert_eq!(a.nested_outer, b.nested_outer);
+    assert_eq!(a.recovery_sites, b.recovery_sites);
+    assert_eq!(a.targeted, b.targeted);
+    assert_eq!(a.captured, b.captured);
+    assert_eq!(a.images, b.images);
+    assert_eq!(a.exhaustive_sites, b.exhaustive_sites);
+    assert_eq!(a.empty_lattices, b.empty_lattices);
+    assert_eq!(a.truncated_lattices, b.truncated_lattices);
+    assert!(
+        a.failures.is_empty() && b.failures.is_empty(),
+        "nested failures: {:?} / {:?}",
+        a.failures.iter().map(|f| f.triple()).collect::<Vec<_>>(),
+        b.failures.iter().map(|f| f.triple()).collect::<Vec<_>>()
+    );
+    assert!(a.outer_captured > 0, "plan must explore something");
 }
 
 #[test]

@@ -1,11 +1,67 @@
 //! Property tests of the adversarial subset shrinker: on synthetic
 //! monotone oracles the greedy delta-debug loop always lands on a
 //! 1-minimal failing subset, finds a sole culprit exactly, and is a pure
-//! function of its inputs (deterministic per seed).
+//! function of its inputs (deterministic per seed) — plus the real-oracle
+//! counterpart: `recover()` is 1-Lipschitz on the persisted lattice of a
+//! pinned crash capture (persisting one more line never flips pass→fail).
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
+use ffccd::{validate_heap, DefragHeap, Scheme};
+use ffccd_pmem::{CrashImage, MachineConfig, MaybeSet};
 use ffccd_workloads::adversary::shrink_subset;
+use ffccd_workloads::driver::{DriverConfig, PhaseMix};
+use ffccd_workloads::faults::replay_crash_site_full;
+use ffccd_workloads::nested::replay_nested_subset_full;
+use ffccd_workloads::{LinkedList, Workload};
+
+fn make_ll() -> Box<dyn Workload> {
+    Box::new(LinkedList::new())
+}
+
+/// The `sec7_1` campaign geometry the pinned captures were mined at.
+fn sec71_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix {
+        init: 1200,
+        phase_ops: 900,
+        phases: 3,
+    };
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.pool.machine = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    cfg.seed = seed;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg
+}
+
+/// The pinned 81-line capture (LL / fence-free, seed 0x517e02, site
+/// 120000): captured once, then every proptest case materializes subsets
+/// over it without re-running the workload.
+fn pinned_capture() -> &'static (CrashImage, MaybeSet) {
+    static CAPTURE: OnceLock<(CrashImage, MaybeSet)> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        let cfg = sec71_cfg(Scheme::FfccdFenceFree, 0x517e02);
+        let r = replay_crash_site_full(&make_ll, Scheme::FfccdFenceFree, 0x517e02, 120000, &cfg)
+            .expect("pinned site must fire");
+        assert!(r.maybe.entries().len() >= 64, "lattice shrank");
+        (r.image, r.maybe)
+    })
+}
+
+/// The recovery oracle the campaigns gate on: recover, fingerprint, recover
+/// again (must be a byte-identical no-op), validate the heap.
+fn recovery_passes(image: &CrashImage) -> bool {
+    let cfg = sec71_cfg(Scheme::FfccdFenceFree, 0x517e02);
+    match DefragHeap::open_recovered_idempotent(image, None, make_ll().registry(), cfg.defrag) {
+        Ok((heap, rerun)) => rerun.is_noop() && validate_heap(&heap).is_ok(),
+        Err(_) => false,
+    }
+}
 
 /// A monotone failure oracle seeded from small culprit sets: a mask fails
 /// iff it contains at least one culprit as a subset. This is the shape
@@ -98,4 +154,66 @@ proptest! {
             a.0
         );
     }
+}
+
+proptest! {
+    // Each case runs real recovery twice on an 8 MiB image — keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `recover()` is 1-Lipschitz (monotone) on the persisted lattice: if
+    /// recovery passes on a subset image, persisting ONE more ambiguous
+    /// line must still pass. The shrinker's 1-minimality guarantee and the
+    /// adversarial campaign's pruning both lean on this — a non-monotone
+    /// oracle would make "minimal counterexample" meaningless. Both masks
+    /// address the pinned 64-line window of the capture above.
+    #[test]
+    fn recovery_is_one_lipschitz_on_persisted_lattice(
+        mask in any::<u64>(),
+        bit in 0u32..64,
+    ) {
+        let (image, maybe) = pinned_capture();
+        let stepped = mask | (1u64 << bit);
+        prop_assume!(stepped != mask);
+        let base = image
+            .with_persisted_subset_at(maybe, mask, 0)
+            .expect("mask is inside the 64-entry window");
+        prop_assume!(recovery_passes(&base));
+        let next = image
+            .with_persisted_subset_at(maybe, stepped, 0)
+            .expect("stepped mask is inside the window");
+        prop_assert!(
+            recovery_passes(&next),
+            "persisting one more line (bit {}) flipped pass→fail: \
+             mask 0x{:x} → 0x{:x}",
+            bit,
+            mask,
+            stepped
+        );
+    }
+}
+
+/// The recovery-phase counterpart, exhaustive: a pinned nested image's
+/// maybe-set lattice is tiny (one line), so walk ALL of it — the oracle
+/// must be monotone from the empty subset to the full one.
+#[test]
+fn nested_recovery_is_monotone_on_its_full_lattice() {
+    let (scheme, seed, outer, rec_site) = (Scheme::Sfccd, 0x517e01u64, 271422u64, 20u64);
+    let cfg = sec71_cfg(scheme, seed);
+    let mut outcomes = Vec::new();
+    for mask in [0u64, 0x1] {
+        let r = replay_nested_subset_full(&make_ll, scheme, seed, outer, rec_site, mask, &cfg)
+            .expect("pinned recovery-phase site must fire");
+        assert_eq!(r.maybe_len, 1, "pinned nested lattice size moved");
+        outcomes.push(r.outcome.is_ok());
+    }
+    // Monotonicity: pass(empty) ⇒ pass(full).
+    assert!(
+        outcomes[1] || !outcomes[0],
+        "persisting the single ambiguous line flipped nested recovery pass→fail"
+    );
+    assert!(
+        outcomes.iter().all(|ok| *ok),
+        "pinned nested probes regressed: {outcomes:?}"
+    );
 }
