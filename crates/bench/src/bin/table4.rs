@@ -34,9 +34,9 @@ fn single(mut w: Box<dyn Workload>, seed: u64) -> Row {
 }
 
 fn multi(make: &dyn Fn() -> Box<dyn Workload>, seed: u64) -> Row {
-    let base = run_mt(make(), 4, &driver_config(Scheme::Baseline, true, seed));
+    let base = run_mt(make, 4, &driver_config(Scheme::Baseline, true, seed));
     let ours = run_mt(
-        make(),
+        make,
         4,
         &driver_config(Scheme::FfccdCheckLookup, true, seed),
     );

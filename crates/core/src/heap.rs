@@ -428,15 +428,47 @@ impl DefragHeap {
     }
 
     /// Reads the root pointer through the read barrier.
+    ///
+    /// A context bound to a root-directory shard ([`Ctx::set_root_shard`])
+    /// reads *its* slot of the directory object instead: the global root
+    /// then points at the directory, and slot `i` holds thread `i`'s
+    /// workload root. Both hops go through the barrier on every call — the
+    /// directory itself is an ordinary relocatable object, so its address
+    /// must never be cached outside the barrier.
     pub fn root(&self, ctx: &mut Ctx) -> PmPtr {
         let _g = self.inner.world.read_recursive();
-        self.load_slot(ctx, crate::walk::ROOT_SLOT)
+        match ctx.root_shard() {
+            None => self.load_slot(ctx, crate::walk::ROOT_SLOT),
+            Some(shard) => {
+                let dir = self.load_slot(ctx, crate::walk::ROOT_SLOT);
+                if dir.is_null() {
+                    return PmPtr::NULL;
+                }
+                self.load_slot(ctx, dir.offset() + shard * 8)
+            }
+        }
     }
 
-    /// Stores and persists the root pointer.
+    /// Stores and persists the root pointer (the context's root-directory
+    /// slot when a shard is bound, the global root otherwise).
     pub fn set_root(&self, ctx: &mut Ctx, ptr: PmPtr) {
         let _g = self.inner.world.read_recursive();
-        self.inner.pool.set_root(ctx, ptr);
+        match ctx.root_shard() {
+            None => self.inner.pool.set_root(ctx, ptr),
+            Some(shard) => {
+                let dir = self.load_slot(ctx, crate::walk::ROOT_SLOT);
+                assert!(
+                    !dir.is_null(),
+                    "sharded set_root requires an installed root directory"
+                );
+                // Same discipline as a reference-field store: write,
+                // persist, and mirror under SFCCD.
+                let off = dir.offset() + shard * 8;
+                self.engine().write_u64(ctx, off, ptr.raw());
+                self.engine().persist(ctx, off, 8);
+                self.sfccd_mirror(ctx, off, &ptr.raw().to_le_bytes());
+            }
+        }
     }
 
     /// `D_RW`/`D_RO`: reads the reference field at `obj + field` through the

@@ -62,6 +62,11 @@ impl CacheSim {
         }
     }
 
+    /// Line capacity this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Removes `line`, fixing up the index entry displaced by swap-remove.
     fn remove(&mut self, line: Line) -> Option<CacheLine> {
         let i = self.index.remove(&line)?;

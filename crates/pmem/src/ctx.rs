@@ -77,6 +77,15 @@ pub struct Ctx {
     /// Bumps since the last flush; at `flush_every` the deltas are pushed.
     pending_bumps: u32,
     flush_every: u32,
+    /// Allocation arena this core allocates from (see the pool's
+    /// per-arena active frames). Arena 0 is the default and reproduces
+    /// single-arena behaviour exactly.
+    arena: u32,
+    /// Slot index in the heap's root directory this core's workload root
+    /// lives in (`None`: the plain global root). Only the multi-threaded
+    /// driver sets this; the value is volatile per-thread config, not
+    /// simulated state.
+    root_shard: Option<u64>,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -108,7 +117,31 @@ impl Ctx {
             pending_counters: [0; COUNTER_SLOTS],
             pending_bumps: 0,
             flush_every: DEFAULT_FLUSH_EVERY,
+            arena: 0,
+            root_shard: None,
         }
+    }
+
+    /// The allocation arena this context allocates from (default 0).
+    pub fn arena(&self) -> u32 {
+        self.arena
+    }
+
+    /// Routes this context's allocations through arena `a` (the mt driver
+    /// gives each thread its own arena so bump allocation does not contend
+    /// on one active frame per class).
+    pub fn set_arena(&mut self, a: u32) {
+        self.arena = a;
+    }
+
+    /// This context's root-directory shard, if any.
+    pub fn root_shard(&self) -> Option<u64> {
+        self.root_shard
+    }
+
+    /// Binds this context to slot `shard` of the heap's root directory.
+    pub fn set_root_shard(&mut self, shard: Option<u64>) {
+        self.root_shard = shard;
     }
 
     /// Installs `sink` as the receiver of this context's batched counters.

@@ -131,6 +131,15 @@ fn bank_salt(bank: usize) -> u64 {
     (bank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
+/// Bank `b`'s share of a `total`-entry resource split across `nbanks`:
+/// the first `total % nbanks` banks take one extra entry, so the shares
+/// sum back to `total` (plain `total / nbanks` silently shrank the
+/// aggregate cache/WPQ whenever the split had a remainder). Every bank
+/// still gets at least one entry even when `total < nbanks`.
+fn bank_share(total: usize, nbanks: usize, b: usize) -> usize {
+    (total / nbanks + usize::from(b < total % nbanks)).max(1)
+}
+
 impl PmEngine {
     /// Creates an engine with zeroed media of `len` bytes.
     pub fn new(cfg: MachineConfig, len: u64) -> Self {
@@ -144,10 +153,10 @@ impl PmEngine {
             .map(|b| {
                 RwLock::new(Bank {
                     cache: CacheSim::new(
-                        (cfg.cache_capacity_lines / nbanks).max(1),
+                        bank_share(cfg.cache_capacity_lines, nbanks, b),
                         (cfg.seed ^ 0xcafe) ^ bank_salt(b),
                     ),
-                    wpq: Wpq::new((cfg.wpq_capacity / nbanks).max(1)),
+                    wpq: Wpq::new(bank_share(cfg.wpq_capacity, nbanks, b)),
                     inflight: VecDeque::new(),
                     evict_roll: (cfg.seed ^ bank_salt(b)) | 1,
                 })
@@ -188,6 +197,19 @@ impl PmEngine {
     /// Number of banks this engine was built with (1 = deterministic mode).
     pub fn bank_count(&self) -> usize {
         self.nbanks
+    }
+
+    /// Per-bank `(cache lines, WPQ entries)` capacities, in bank order.
+    /// Their sums must equal the configured totals whenever the totals are
+    /// at least `nbanks` (below that every bank still holds one entry).
+    pub fn bank_capacities(&self) -> Vec<(usize, usize)> {
+        self.banks
+            .iter()
+            .map(|b| {
+                let b = b.read();
+                (b.cache.capacity(), b.wpq.capacity())
+            })
+            .collect()
     }
 
     fn bank_of(&self, line: Line) -> usize {
@@ -1190,6 +1212,46 @@ mod banked_tests {
     fn bank_count_resolves_from_config() {
         assert_eq!(engine_with(0).bank_count(), 1);
         assert_eq!(engine_with(8).bank_count(), 8);
+    }
+
+    /// Splitting the cache/WPQ across banks must conserve the configured
+    /// totals even when they are not divisible by the bank count — the old
+    /// `total / nbanks` floor silently shrank the aggregate.
+    #[test]
+    fn bank_capacity_split_preserves_totals() {
+        for banks in [1usize, 3, 7, 8, 64] {
+            let cfg = MachineConfig {
+                banks,
+                ..MachineConfig::default()
+            };
+            let e = PmEngine::new(cfg.clone(), 1 << 20);
+            let caps = e.bank_capacities();
+            assert_eq!(caps.len(), banks);
+            let cache_total: usize = caps.iter().map(|&(c, _)| c).sum();
+            let wpq_total: usize = caps.iter().map(|&(_, w)| w).sum();
+            assert_eq!(
+                cache_total, cfg.cache_capacity_lines,
+                "banks={banks}: cache lines conserved"
+            );
+            assert_eq!(
+                wpq_total, cfg.wpq_capacity,
+                "banks={banks}: WPQ entries conserved"
+            );
+            // Shares differ by at most one entry, so no bank starves.
+            let min = caps.iter().map(|&(c, _)| c).min().unwrap();
+            let max = caps.iter().map(|&(c, _)| c).max().unwrap();
+            assert!(max - min <= 1, "banks={banks}: balanced split");
+        }
+        // Degenerate split: more banks than entries still gives every bank
+        // one entry (the aggregate legitimately exceeds the configured
+        // total — a bank cannot function with a zero-capacity queue).
+        let tiny = MachineConfig {
+            banks: 64,
+            wpq_capacity: 3,
+            ..MachineConfig::default()
+        };
+        let e = PmEngine::new(tiny, 1 << 20);
+        assert!(e.bank_capacities().iter().all(|&(_, w)| w == 1));
     }
 
     fn engine_with(banks: usize) -> PmEngine {

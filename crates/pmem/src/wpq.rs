@@ -50,6 +50,11 @@ impl Wpq {
         }
     }
 
+    /// Line capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of queued lines.
     pub fn len(&self) -> usize {
         self.entries.len()

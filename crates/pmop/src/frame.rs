@@ -88,6 +88,14 @@ impl FrameState {
         get_bit(&self.start, i)
     }
 
+    /// Whether every slot of `[slot, slot+n)` is still free — the
+    /// allocator's verify step between picking a candidate run and
+    /// reserving it (a concurrent allocator may have claimed it since).
+    pub fn is_run_free(&self, slot: usize, n: usize) -> bool {
+        debug_assert!(slot + n <= SLOTS_PER_FRAME);
+        (slot..slot + n).all(|i| !self.is_allocated(i))
+    }
+
     /// Finds the first run of `n` contiguous free slots, or `None`.
     pub fn find_free_run(&self, n: usize) -> Option<usize> {
         debug_assert!((1..=SLOTS_PER_FRAME).contains(&n));

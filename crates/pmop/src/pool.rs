@@ -93,12 +93,15 @@ fn class_of(slots: usize) -> u8 {
 struct AllocInner {
     frames: Vec<FrameState>,
     os_pages: Vec<OsPage>,
-    /// Per-class frames with free slots, excluding the class's active frame.
+    /// Per-class frames with free slots, excluding any arena's active frame.
     partial: std::collections::HashMap<u8, Vec<u32>>,
     /// Fully free frames available for (re)use.
     free_frames: Vec<u32>,
-    /// Current bump-allocation frame per class.
-    active: std::collections::HashMap<u8, u32>,
+    /// Current bump-allocation frame per (arena, class). Concurrent
+    /// mutator threads allocate from distinct arenas ([`Ctx::arena`]), so
+    /// their bump pointers do not fight over one frame; arena 0 alone
+    /// reproduces the single-arena allocator exactly.
+    active: std::collections::HashMap<(u32, u8), u32>,
     committed_pages: u64,
     live_bytes: u64,
 }
@@ -123,6 +126,15 @@ pub struct PmPool {
     layout: PoolLayout,
     registry: TypeRegistry,
     inner: Mutex<AllocInner>,
+    /// Striped per-frame commit locks (`frame % RECORD_STRIPES`). A
+    /// thread persisting a frame's bitmap record holds the frame's stripe
+    /// from *before* it reserves slots until *after* the record write, so
+    /// (a) two allocators can never claim the same run (the reservation
+    /// is verified and applied under the stripe), and (b) same-frame
+    /// records always persist in reservation order — a slot shows up in a
+    /// durable record only after its object header is durable. Lock order
+    /// is stripe → `inner`, never the reverse.
+    record_stripes: Box<[Mutex<()>]>,
     base: AtomicU64,
     pool_id: u16,
 }
@@ -140,6 +152,9 @@ impl std::fmt::Debug for PmPool {
 /// and taking a fresh frame. Real allocators bound this search the same way;
 /// the bound is one source of long-lived fragmentation.
 const PARTIAL_SCAN_LIMIT: usize = 32;
+
+/// Number of per-frame commit-lock stripes (see [`PmPool::record_stripes`]).
+const RECORD_STRIPES: usize = 64;
 
 /// Maximum payload of a non-huge object: it must fit one frame with header.
 pub(crate) const MAX_SMALL_PAYLOAD: u64 = FRAME_BYTES - OBJ_HEADER_BYTES;
@@ -229,9 +244,14 @@ impl PmPool {
             layout,
             registry,
             inner: Mutex::new(inner),
+            record_stripes: (0..RECORD_STRIPES).map(|_| Mutex::new(())).collect(),
             base: AtomicU64::new(base),
             pool_id: 1,
         }
+    }
+
+    fn stripe(&self, frame: u32) -> &Mutex<()> {
+        &self.record_stripes[frame as usize % RECORD_STRIPES]
     }
 
     /// Rebuilds volatile allocator state from persistent bitmap records.
@@ -420,9 +440,16 @@ impl PmPool {
             return self.pmalloc_huge(ctx, type_id, payload);
         }
         let n = Self::slots_for(payload);
-        let (frame, slot) = self.pick_slot(n, payload)?;
-        self.commit_alloc(ctx, frame, slot, n, type_id, payload);
-        Ok(self.ptr_at(frame, slot))
+        loop {
+            let (frame, slot) = self.pick_slot(ctx.arena(), n, payload)?;
+            // The candidate run was found under a lock acquisition separate
+            // from the commit below, so a concurrent allocator may have
+            // claimed it meanwhile; commit verifies under the frame's
+            // stripe and asks for a fresh candidate when it lost the race.
+            if self.commit_alloc(ctx, frame, slot, n, type_id, payload) {
+                return Ok(self.ptr_at(frame, slot));
+            }
+        }
     }
 
     fn ptr_at(&self, frame: u32, slot: usize) -> PmPtr {
@@ -432,11 +459,11 @@ impl PmPool {
         )
     }
 
-    fn pick_slot(&self, n: usize, payload: u64) -> Result<(u32, usize), PoolError> {
+    fn pick_slot(&self, arena: u32, n: usize, payload: u64) -> Result<(u32, usize), PoolError> {
         let cls = class_of(n);
         let mut inner = self.inner.lock();
-        // 1. bump in this class's active frame
-        if let Some(&a) = inner.active.get(&cls) {
+        // 1. bump in this arena's active frame for the class
+        if let Some(&a) = inner.active.get(&(arena, cls)) {
             if let Some(slot) = inner.frames[a as usize].find_free_run(n) {
                 return Ok((a, slot));
             }
@@ -444,7 +471,7 @@ impl PmPool {
             if inner.frames[a as usize].free_slots > 0 {
                 inner.partial.entry(cls).or_default().push(a);
             }
-            inner.active.remove(&cls);
+            inner.active.remove(&(arena, cls));
         }
         // 2. bounded first-fit over this class's partial frames
         let mut found: Option<(usize, usize)> = None;
@@ -464,7 +491,7 @@ impl PmPool {
                 .get_mut(&cls)
                 .expect("list exists")
                 .swap_remove(i);
-            inner.active.insert(cls, f);
+            inner.active.insert((arena, cls), f);
             return Ok((f, slot));
         }
         // 3. fresh frame, claimed for this class
@@ -472,7 +499,7 @@ impl PmPool {
             requested: payload + OBJ_HEADER_BYTES,
         })?;
         inner.frames[f as usize].class = Some(cls);
-        inner.active.insert(cls, f);
+        inner.active.insert((arena, cls), f);
         Ok((f, 0))
     }
 
@@ -489,6 +516,11 @@ impl PmPool {
         Some(f)
     }
 
+    /// Verifies the candidate run is still free, reserves it, and persists
+    /// header + bitmap record — all under the frame's commit stripe.
+    /// Returns `false` when a concurrent allocator claimed (part of) the
+    /// run first, or the frame left allocator service entirely; the caller
+    /// re-picks.
     fn commit_alloc(
         &self,
         ctx: &mut Ctx,
@@ -497,26 +529,31 @@ impl PmPool {
         n: usize,
         type_id: TypeId,
         payload: u64,
-    ) {
+    ) -> bool {
+        let _stripe = self.stripe(frame).lock();
+        {
+            let mut inner = self.inner.lock();
+            let st = &mut inner.frames[frame as usize];
+            let usable = matches!(st.kind, FrameKind::Free | FrameKind::Active);
+            if !usable || !st.is_run_free(slot, n) {
+                return false;
+            }
+            st.mark_allocated(slot, n, (payload + OBJ_HEADER_BYTES) as u32);
+            inner.live_bytes += payload + OBJ_HEADER_BYTES;
+        }
         // Persist order gives the allocator a commit point: header first,
         // then the bitmap record. A crash in between leaves the slots free.
+        // The stripe held across both writes keeps any other thread from
+        // persisting a record of this frame that already shows our slots
+        // while our header is not yet durable.
         let hdr_off = self.layout.frame_start(frame as u64) + slot as u64 * SLOT_BYTES;
         let word0 = ((type_id.0 as u64) << 32) | payload;
         self.engine.write_u64(ctx, hdr_off, word0);
         self.engine.write_u64(ctx, hdr_off + 8, 0);
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
-        {
-            let mut inner = self.inner.lock();
-            inner.frames[frame as usize].mark_allocated(
-                slot,
-                n,
-                (payload + OBJ_HEADER_BYTES) as u32,
-            );
-            inner.live_bytes += payload + OBJ_HEADER_BYTES;
-            let rec = inner.frames[frame as usize].to_record();
-            drop(inner);
-            self.write_bitmap_record(ctx, frame, &rec);
-        }
+        let rec = self.inner.lock().frames[frame as usize].to_record();
+        self.write_bitmap_record(ctx, frame, &rec);
+        true
     }
 
     fn write_bitmap_record(&self, ctx: &mut Ctx, frame: u32, rec: &[u8; 64]) {
@@ -590,6 +627,7 @@ impl PmPool {
         self.engine.write_u64(ctx, hdr_off + 8, 0);
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
         for f in first..first + frames_needed as u32 {
+            let _stripe = self.stripe(f).lock();
             let rec = self.inner.lock().frames[f as usize].to_record();
             self.write_bitmap_record(ctx, f, &rec);
         }
@@ -611,6 +649,9 @@ impl PmPool {
             return self.pfree_huge(ctx, ptr, frame, total);
         }
         let n = Self::slots_for(size as u64);
+        // Stripe before inner (the pool-wide lock order): the record write
+        // below must not interleave with a concurrent same-frame commit.
+        let _stripe = self.stripe(frame).lock();
         let rec = {
             let mut inner = self.inner.lock();
             let st = &mut inner.frames[frame as usize];
@@ -625,7 +666,7 @@ impl PmPool {
             let became_partial = st.kind == FrameKind::Active
                 && st.free_slots as usize == n
                 && cls.is_some()
-                && cls.and_then(|c| inner.active.get(&c).copied()) != Some(frame);
+                && !inner.active.values().any(|&f| f == frame);
             if became_partial {
                 inner
                     .partial
@@ -665,24 +706,34 @@ impl PmPool {
                     reason: "not a huge object start",
                 });
             }
-            for f in first..first + frames {
-                let st = &mut inner.frames[f as usize];
-                st.kind = FrameKind::Free;
-                st.alloc = [0; 4];
-                st.start = [0; 4];
-                st.free_slots = SLOTS_PER_FRAME as u16;
-                st.live_bytes = 0;
-                st.class = None;
-                inner.free_frames.push(f);
-                let page = self.layout.os_page_of_frame(f as u64) as usize;
-                inner.os_pages[page].used_frames -= 1;
-            }
-            inner.live_bytes -= total;
+            // Claim the free by clearing the start bit under the same lock
+            // as the check: a racing double-free now fails validation
+            // instead of tearing the accounting down twice.
+            inner.frames[first as usize].start[0] &= !1;
         }
+        // Zero the records while every frame is still `Huge` — nothing can
+        // allocate from a Huge frame, so no concurrent record write of the
+        // same frames can land between ours. Releasing the frames *first*
+        // would let an allocator claim one, persist its record, and have
+        // our zeroing wipe that allocation out.
         for f in first..first + frames {
-            let rec = [0u8; 64];
-            self.write_bitmap_record(ctx, f, &rec);
+            let _stripe = self.stripe(f).lock();
+            self.write_bitmap_record(ctx, f, &[0u8; 64]);
         }
+        let mut inner = self.inner.lock();
+        for f in first..first + frames {
+            let st = &mut inner.frames[f as usize];
+            st.kind = FrameKind::Free;
+            st.alloc = [0; 4];
+            st.start = [0; 4];
+            st.free_slots = SLOTS_PER_FRAME as u16;
+            st.live_bytes = 0;
+            st.class = None;
+            inner.free_frames.push(f);
+            let page = self.layout.os_page_of_frame(f as u64) as usize;
+            inner.os_pages[page].used_frames -= 1;
+        }
+        inner.live_bytes -= total;
         Ok(())
     }
 
@@ -876,6 +927,7 @@ impl PmPool {
         n: usize,
         bytes: u32,
     ) {
+        let _stripe = self.stripe(frame as u32).lock();
         let rec = {
             let mut inner = self.inner.lock();
             let st = &mut inner.frames[frame as usize];
@@ -925,6 +977,7 @@ impl PmPool {
     /// *decommits* its OS page when the page holds no used frames, shrinking
     /// the footprint. Returns the per-frame live bytes that were dropped.
     pub fn release_frame(&self, ctx: &mut Ctx, frame: u64) {
+        let _stripe = self.stripe(frame as u32).lock();
         {
             let mut inner = self.inner.lock();
             let st = &mut inner.frames[frame as usize];
@@ -1304,6 +1357,99 @@ mod tests {
         // A small allocation must not land in the vacated big-class frame.
         let small2 = pool.pmalloc(&mut ctx, t, 64).expect("small2");
         assert_ne!(pool.layout().frame_of(small2.offset()), Some(big_frame));
+    }
+
+    /// Two contexts in different arenas bump-allocate from different
+    /// frames, so concurrent mutator threads do not fight over one active
+    /// frame per size class.
+    #[test]
+    fn arenas_bump_in_distinct_frames() {
+        let (pool, _ctx, t) = test_pool();
+        let mut a = Ctx::new(pool.machine());
+        let mut b = Ctx::new(pool.machine());
+        b.set_arena(1);
+        let pa = pool.pmalloc(&mut a, t, 128).expect("arena 0");
+        let pb = pool.pmalloc(&mut b, t, 128).expect("arena 1");
+        assert_ne!(
+            pool.layout().frame_of(pa.offset()),
+            pool.layout().frame_of(pb.offset()),
+            "different arenas must use different active frames"
+        );
+        // Same arena keeps bumping in its own frame.
+        let pa2 = pool.pmalloc(&mut a, t, 128).expect("arena 0 again");
+        assert_eq!(
+            pool.layout().frame_of(pa.offset()),
+            pool.layout().frame_of(pa2.offset())
+        );
+    }
+
+    /// Free-running allocator hammer: no turn-taking, every thread in its
+    /// own arena, mixed alloc/free. The verify-and-reserve commit must
+    /// never hand two threads overlapping slot runs (the old pick/commit
+    /// split could: candidate selection and reservation were separate
+    /// lock acquisitions), and the aggregate accounting must balance.
+    #[test]
+    fn concurrent_alloc_free_never_collides() {
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+
+        let mut reg = TypeRegistry::new();
+        let t = reg.register(TypeDesc::new("node", 128, &[0]));
+        let pool = Arc::new(
+            PmPool::create(
+                PoolConfig {
+                    data_bytes: 8 << 20,
+                    ..PoolConfig::small_for_tests()
+                },
+                reg,
+            )
+            .expect("create"),
+        );
+        let threads = 4u32;
+        let per = 400u64;
+        let kept: Vec<Vec<(PmPtr, u64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let mut ctx = Ctx::new(pool.machine());
+                        ctx.set_arena(tid);
+                        let mut mine: Vec<(PmPtr, u64)> = Vec::new();
+                        for i in 0..per {
+                            let tag = (tid as u64) << 32 | i;
+                            let p = pool.pmalloc(&mut ctx, t, 128).expect("alloc");
+                            pool.write_u64(&mut ctx, p, 0, tag);
+                            mine.push((p, tag));
+                            // Free an older object every third op to keep
+                            // partial frames churning across threads.
+                            if i % 3 == 2 {
+                                let (q, _) = mine.swap_remove(mine.len() / 2);
+                                pool.pfree(&mut ctx, q).expect("free");
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        // No two live objects alias, and every tag survived intact.
+        let mut ctx = Ctx::new(pool.machine());
+        let all: Vec<&(PmPtr, u64)> = kept.iter().flatten().collect();
+        let distinct: BTreeSet<u64> = all.iter().map(|(p, _)| p.raw()).collect();
+        assert_eq!(distinct.len(), all.len(), "allocations must not alias");
+        for (p, tag) in &all {
+            assert_eq!(pool.read_u64(&mut ctx, *p, 0), *tag, "payload intact");
+        }
+        let expected_live = all.len() as u64 * (128 + OBJ_HEADER_BYTES);
+        assert_eq!(
+            pool.stats().live_bytes,
+            expected_live,
+            "accounting balances"
+        );
     }
 
     #[test]

@@ -4,11 +4,13 @@
 
 use std::collections::BTreeSet;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ffccd::{DefragConfig, DefragHeap, GcStatsSnapshot, Scheme};
 use ffccd_pmem::MachineConfig;
-use ffccd_pmop::PoolConfig;
+use ffccd_pmop::{PmPtr, PoolConfig, TypeDesc, TypeId, TypeRegistry};
 
 use crate::util::KeyGen;
 use crate::workload::Workload;
@@ -64,6 +66,44 @@ pub struct DriverConfig {
     /// Objects the GC relocates per pump (models the concurrent GC
     /// thread's progress between application ops).
     pub gc_batch: usize,
+    /// Multi-threaded driver knobs (ignored by the single-thread runner).
+    pub mt: MtConfig,
+}
+
+/// Scheduling discipline for the multi-threaded driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MtSchedule {
+    /// Free-running mutators: no global turn lock anywhere on the op path.
+    /// Threads race over the banked engine, the striped pool allocator and
+    /// the relocation stripes; op windows genuinely overlap. Timing-
+    /// dependent, so not byte-deterministic — correctness comes from the
+    /// post-run per-shard checker instead.
+    Free,
+    /// Seeded turn scheduler: a PRNG seeded with this value picks which
+    /// thread executes each operation, totally ordering all engine traffic.
+    /// Byte-deterministic replay even over a banked engine — the
+    /// determinism and interleaving tests run in this mode.
+    Seeded(u64),
+}
+
+/// Multi-threaded driver configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MtConfig {
+    /// How mutator threads are scheduled.
+    pub schedule: MtSchedule,
+    /// Override for each thread context's batched-counter flush cadence
+    /// (`None`: the context default). Stats-conservation tests pin this to
+    /// 1 and compare against the batched default.
+    pub counter_flush_every: Option<u32>,
+}
+
+impl Default for MtConfig {
+    fn default() -> Self {
+        MtConfig {
+            schedule: MtSchedule::Free,
+            counter_flush_every: None,
+        }
+    }
 }
 
 impl DriverConfig {
@@ -85,6 +125,7 @@ impl DriverConfig {
             seed: 0xFFCCD,
             sample_every: 64,
             gc_batch: 32,
+            mt: MtConfig::default(),
         }
     }
 }
@@ -152,12 +193,97 @@ impl RunResult {
 /// stops the run early (the heap still winds down through `exit()`).
 pub type OpHook<'h> = Option<&'h mut dyn FnMut(u64, &DefragHeap, &BTreeSet<u64>) -> bool>;
 
-/// Runs `workload` shared by `threads` application threads plus one
-/// concurrent defragmentation thread. Structure operations serialize on a
-/// workload mutex inside a [`DefragHeap::critical`] section (the paper's
-/// §4.5 critical-section discipline), while the collector relocates
-/// concurrently. Keys are partitioned per thread.
-pub fn run_mt(workload: Box<dyn Workload>, threads: usize, cfg: &DriverConfig) -> RunResult {
+/// Extends a workload's type registry with the multi-threaded driver's
+/// root-directory type: one 8-byte reference slot per thread, registered
+/// *after* the workload's own types so their hard-coded [`TypeId`]s stay
+/// valid. Returns the extended registry and the directory's id.
+///
+/// Crash images captured from a multi-threaded run must be recovered with
+/// this same extended registry — the heap walker fails loudly on type ids
+/// it does not know.
+pub fn mt_registry(mut reg: TypeRegistry, threads: usize) -> (TypeRegistry, TypeId) {
+    let threads = threads.max(1);
+    let offsets: Vec<u32> = (0..threads as u32).map(|i| i * 8).collect();
+    let id = reg.register(TypeDesc::new("mt_root_dir", threads as u32 * 8, &offsets));
+    (reg, id)
+}
+
+/// One entry of a mutator thread's operation log, replayed by the post-run
+/// checker to reconstruct the shard's expected key set.
+#[derive(Clone, Copy, Debug)]
+struct OpRecord {
+    insert: bool,
+    key: u64,
+    /// For deletes: what the structure reported. Every driver delete
+    /// targets a key the thread itself inserted into its own shard, so a
+    /// miss means another thread's traffic corrupted the structure.
+    found: bool,
+}
+
+/// State of the [`MtSchedule::Seeded`] turn scheduler: the PRNG hands the
+/// turn to a thread weighted by its remaining ops, so the interleaving
+/// stays balanced and every schedule is a pure function of the seed.
+struct SeededTurns {
+    rng: SmallRng,
+    remaining: Vec<usize>,
+    current: usize,
+}
+
+impl SeededTurns {
+    fn new(seed: u64, threads: usize, per_thread: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let remaining = vec![per_thread; threads];
+        let current = Self::pick(&mut rng, &remaining).unwrap_or(0);
+        SeededTurns {
+            rng,
+            remaining,
+            current,
+        }
+    }
+
+    fn pick(rng: &mut SmallRng, remaining: &[usize]) -> Option<usize> {
+        let total: usize = remaining.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut r = rng.gen_range(0..total);
+        for (tid, &n) in remaining.iter().enumerate() {
+            if r < n {
+                return Some(tid);
+            }
+            r -= n;
+        }
+        None
+    }
+
+    /// Retires one op of the current holder and picks the next turn.
+    fn advance(&mut self) {
+        self.remaining[self.current] -= 1;
+        if let Some(next) = Self::pick(&mut self.rng, &self.remaining) {
+            self.current = next;
+        }
+    }
+}
+
+/// Runs one private `workload` instance (from `make`) per application
+/// thread, all over one shared heap, plus the concurrent defragmentation
+/// work pumped from every thread. There is **no global turn lock on the op
+/// path**: under the default [`MtSchedule::Free`] schedule, threads race
+/// over the banked engine and the striped pool allocator, serializing only
+/// where the simulated hardware or the relocation protocol demands it
+/// (engine banks, pool record stripes, relocation stripes).
+///
+/// Each thread gets a disjoint key stream, its own allocation arena, and
+/// its own slot ("shard") of a root directory object, so every structure
+/// op is a genuine concurrent heap exercise without cross-thread key
+/// interference. After the run, a per-shard checker replays each thread's
+/// op log against [`Workload::validate`] and panics on any divergence —
+/// the §7.1 key-set oracle, applied shard by shard.
+pub fn run_mt(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+) -> RunResult {
     let pool_cfg = PoolConfig {
         machine: MachineConfig {
             seed: cfg.seed,
@@ -165,80 +291,117 @@ pub fn run_mt(workload: Box<dyn Workload>, threads: usize, cfg: &DriverConfig) -
         },
         ..cfg.pool.clone()
     };
-    let heap = DefragHeap::create(pool_cfg, workload.registry(), cfg.defrag)
-        .expect("driver pool creation");
-    run_mt_on(workload, threads, cfg, &heap, None)
+    let (reg, _) = mt_registry(make().registry(), threads);
+    let heap = DefragHeap::create(pool_cfg, reg, cfg.defrag).expect("driver pool creation");
+    run_mt_on(make, threads, cfg, &heap, None)
 }
 
 /// Like [`run_mt`] but against a caller-provided heap (fault injection
-/// snapshots the heap from outside while this runs). When `op_progress`
-/// is given, it is incremented once per completed application operation —
-/// external samplers gate on it instead of wall-clock time, so capture
-/// spacing tracks simulated work even when host scheduling stalls a run.
+/// snapshots the heap from outside while this runs). The heap **must**
+/// have been created with the [`mt_registry`]-extended registry for the
+/// same `threads`. When `op_progress` is given, it is incremented once per
+/// completed application operation — external samplers gate on it instead
+/// of wall-clock time, so capture spacing tracks simulated work even when
+/// host scheduling stalls a run.
 pub fn run_mt_on(
-    workload: Box<dyn Workload>,
+    make: &dyn Fn() -> Box<dyn Workload>,
     threads: usize,
     cfg: &DriverConfig,
     heap: &DefragHeap,
     op_progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 ) -> RunResult {
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     let heap = heap.clone();
-    let name = workload.name().to_owned();
-    let w = Arc::new(Mutex::new(workload));
+    let threads = threads.max(1);
+    let per_thread_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) / threads;
+
+    // One private workload instance per thread: structure ops need no
+    // workload mutex, because each instance only ever touches its own
+    // shard of the key space and its own root-directory slot.
+    let mut insts: Vec<Box<dyn Workload>> = (0..threads).map(|_| make()).collect();
+    let name = insts[0].name().to_owned();
+    // The directory type is registered directly after the workload's own
+    // types (see `mt_registry`), so its id is the workload registry's len.
+    let dir_type = TypeId(insts[0].registry().len() as u32);
     {
         let mut ctx = heap.ctx();
-        w.lock().expect("workload lock").setup(&heap, &mut ctx);
+        let dir = heap
+            .alloc(&mut ctx, dir_type, threads as u64 * 8)
+            .expect("mt root directory");
+        for i in 0..threads as u64 {
+            heap.store_ref(&mut ctx, dir, i * 8, PmPtr::NULL);
+        }
+        heap.set_root(&mut ctx, dir);
     }
-    let samples = Arc::new(Mutex::new(Vec::<Sample>::new()));
+    // Per-thread contexts: private arena (allocation fast path contends on
+    // nothing), private root-directory shard, and the caller's counter
+    // batching override. Setup runs on the main thread so a workload's
+    // volatile-index construction needs no extra synchronization.
+    let mut ctxs: Vec<ffccd_pmem::Ctx> = Vec::with_capacity(threads);
+    for (tid, w) in insts.iter_mut().enumerate() {
+        let mut ctx = heap.ctx();
+        ctx.set_arena(tid as u32);
+        ctx.set_root_shard(Some(tid as u64));
+        if let Some(n) = cfg.mt.counter_flush_every {
+            ctx.set_counter_flush_every(n);
+        }
+        w.setup(&heap, &mut ctx);
+        ctxs.push(ctx);
+    }
 
-    // Threads take strict round-robin turns: on few-core hosts an unfair
-    // mutex lets one thread run its whole slice before the others start,
-    // which would serialize the "concurrent" phases. Turn-taking keeps the
-    // aggregate live-set shape identical to the single-threaded mix and
-    // makes the interleaving reproducible. Waiters park on a condvar
-    // instead of spinning — with more threads than cores a spin-waiter
-    // burns the turn-holder's quantum, so oversubscribed runs crawled.
-    let turn = Arc::new((Mutex::new(0usize), Condvar::new()));
-    let per_thread_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) / threads;
+    // Seeded mode wraps each whole op in a PRNG-ordered turn; Free mode
+    // has no gate at all — the shared atomic below only numbers ops for
+    // the sampling cadence and external progress, it serializes nothing.
+    let turns: Option<Arc<(Mutex<SeededTurns>, Condvar)>> = match cfg.mt.schedule {
+        MtSchedule::Free => None,
+        MtSchedule::Seeded(seed) => Some(Arc::new((
+            Mutex::new(SeededTurns::new(seed, threads, per_thread_ops)),
+            Condvar::new(),
+        ))),
+    };
+    let global_op = Arc::new(AtomicU64::new(0));
+
     let mut handles = Vec::new();
-    for tid in 0..threads {
+    for (tid, (mut w, mut ctx)) in insts.into_iter().zip(ctxs).enumerate() {
         let heap = heap.clone();
-        let w = w.clone();
         let mix = cfg.mix;
         let value_size = cfg.value_size;
         let seed = cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9);
-        let samples = samples.clone();
-        let sample_every = cfg.sample_every.max(1);
+        let stride = (cfg.sample_every.max(1) * threads) as u64;
         let gc_batch = cfg.gc_batch;
-        let turn = turn.clone();
+        let turns = turns.clone();
+        let global_op = global_op.clone();
         let op_progress = op_progress.clone();
         handles.push(std::thread::spawn(move || {
-            let mut ctx = heap.ctx();
             let mut gc_ctx = heap.ctx();
             let mut keys = KeyGen::new(seed);
             let mut live: BTreeSet<u64> = BTreeSet::new();
+            let mut oplog: Vec<OpRecord> = Vec::with_capacity(per_thread_ops);
+            let mut samples: Vec<Sample> = Vec::new();
             let total = (mix.init + mix.phase_ops * mix.phases).max(1);
-            let mut op = 0usize;
-            while op < per_thread_ops {
-                // Wait for this thread's turn (round-robin), parked on the
-                // condvar. The guard is held through the whole op so the
-                // global op counter doubles as the serialization point.
-                let (lock, cv) = &*turn;
-                let mut t = lock.lock().expect("turn lock");
-                while *t % threads != tid {
-                    t = cv.wait(t).expect("turn lock");
-                }
-                // Whichever thread owns the turn samples, on the *global*
-                // op cadence. Pinning sampling to thread 0's local cadence
-                // stretched only thread 0's turn window, skewing its share
-                // of the interleaving.
-                if (*t).is_multiple_of(sample_every * threads) {
+            for op in 0..per_thread_ops {
+                // In seeded mode, park until the scheduler hands this
+                // thread the turn; the guard is held across the whole op so
+                // every engine access is totally ordered by the PRNG.
+                let mut turn_guard = turns.as_ref().map(|t| {
+                    let (lock, cv) = &**t;
+                    let mut st = lock.lock().expect("turn lock");
+                    while st.current != tid {
+                        st = cv.wait(st).expect("turn lock");
+                    }
+                    st
+                });
+                // Claim a unique global op number. Whoever lands on the
+                // sampling cadence records the footprint at that point —
+                // exact in seeded mode, a racy-but-monotonic time series in
+                // free mode (samples are merged and sorted by op below).
+                let g = global_op.fetch_add(1, Ordering::AcqRel);
+                if g.is_multiple_of(stride) {
                     let st = heap.pool().stats();
-                    samples.lock().expect("samples lock").push(Sample {
-                        op: *t as u64,
+                    samples.push(Sample {
+                        op: g,
                         footprint: st.footprint_bytes,
                         live: st.live_bytes,
                     });
@@ -254,59 +417,71 @@ pub fn run_mt_on(
                     phase % 2 == 1
                 } || live.is_empty();
                 heap.critical(|| {
-                    let mut w = w.lock().expect("workload lock");
                     if insert {
                         let k = keys.fresh();
                         let vs = keys.value_size(value_size.0, value_size.1);
                         w.insert(&heap, &mut ctx, k, vs);
                         live.insert(k);
+                        oplog.push(OpRecord {
+                            insert: true,
+                            key: k,
+                            found: true,
+                        });
                     } else if let Some(k) = keys.pick(&live) {
-                        w.delete(&heap, &mut ctx, k);
+                        let found = w.delete(&heap, &mut ctx, k);
                         live.remove(&k);
+                        oplog.push(OpRecord {
+                            insert: false,
+                            key: k,
+                            found,
+                        });
                     }
                 });
-                op += 1;
-                // Every thread lends its turn to the collector, on a
-                // dedicated context — the same interleaved-concurrency
-                // model (and aggregate collection rate) as the single-
-                // threaded driver; a starvable free-running GC thread would
-                // under-collect on small hosts. Thread 0 owns triggering.
+                // Every thread lends time to the collector on a dedicated
+                // context — the same interleaved-concurrency model (and
+                // aggregate collection rate) as the single-threaded driver;
+                // a starvable free-running GC thread would under-collect on
+                // small hosts. Thread 0 owns triggering.
                 if heap.in_cycle() {
                     heap.step_compaction(&mut gc_ctx, gc_batch);
-                } else if tid == 0 && op.is_multiple_of(32) {
+                } else if tid == 0 && (op + 1).is_multiple_of(32) {
                     heap.maybe_defrag(&mut gc_ctx);
                 }
                 if let Some(p) = &op_progress {
                     p.fetch_add(1, Ordering::Release);
                 }
-                *t += 1;
-                cv.notify_all();
+                if let Some(st) = turn_guard.as_mut() {
+                    st.advance();
+                    let (_, cv) = &**turns.as_ref().expect("seeded mode");
+                    cv.notify_all();
+                }
             }
             // Push any batched barrier counters into the shared GcStats
             // before the main thread snapshots it.
             heap.flush_stats(&mut ctx);
             heap.flush_stats(&mut gc_ctx);
-            (ctx.cycles(), gc_ctx.cycles(), live)
+            (ctx.cycles(), gc_ctx.cycles(), live, oplog, samples)
         }));
     }
     let mut app_cycles = 0u64;
     let mut gc_cycles = 0u64;
     let mut total_ops = 0u64;
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut shards: Vec<(BTreeSet<u64>, Vec<OpRecord>)> = Vec::with_capacity(threads);
     for h in handles {
-        let (cycles, gc, live) = h.join().expect("app thread");
+        let (cycles, gc, live, oplog, thread_samples) = h.join().expect("app thread");
         app_cycles += cycles;
         gc_cycles += gc;
         total_ops += per_thread_ops as u64;
-        let _ = live;
+        samples.extend(thread_samples);
+        shards.push((live, oplog));
     }
+    samples.sort_unstable_by_key(|s| s.op);
     {
         let mut wind_down = heap.ctx();
         heap.exit(&mut wind_down);
     }
-
-    let samples = Arc::try_unwrap(samples)
-        .map(|m| m.into_inner().expect("samples lock"))
-        .unwrap_or_default();
+    check_shards(make, &heap, &shards);
     let (avg_footprint, avg_live) = if samples.is_empty() {
         let st = heap.pool().stats();
         (st.footprint_bytes as f64, st.live_bytes as f64)
@@ -332,6 +507,53 @@ pub fn run_mt_on(
         gc: heap.gc_stats(),
         samples,
         latency: (0, 0, 0, 0),
+    }
+}
+
+/// Post-run checker for multi-threaded runs (the §7.1 key-set oracle,
+/// applied shard by shard): replays each thread's op log into that shard's
+/// expected key set, cross-checks it against the thread's own live set,
+/// and validates the persistent structure through a context bound to the
+/// shard. Panics on the first divergence — a free-running mt run has no
+/// deterministic replay to fall back on, so the checker *is* its
+/// correctness story.
+fn check_shards(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    heap: &DefragHeap,
+    shards: &[(BTreeSet<u64>, Vec<OpRecord>)],
+) {
+    for (tid, (live, oplog)) in shards.iter().enumerate() {
+        let mut expected: BTreeSet<u64> = BTreeSet::new();
+        for r in oplog {
+            if r.insert {
+                assert!(
+                    expected.insert(r.key),
+                    "thread {tid}: duplicate insert of key {:#x}",
+                    r.key
+                );
+            } else {
+                assert!(
+                    r.found,
+                    "thread {tid}: delete missed live key {:#x} (cross-thread corruption)",
+                    r.key
+                );
+                assert!(
+                    expected.remove(&r.key),
+                    "thread {tid}: delete of never-inserted key {:#x}",
+                    r.key
+                );
+            }
+        }
+        assert_eq!(
+            &expected, live,
+            "thread {tid}: op log disagrees with the thread's live set"
+        );
+        let mut ctx = heap.ctx();
+        ctx.set_root_shard(Some(tid as u64));
+        let mut w = make();
+        w.reopen(heap, &mut ctx);
+        w.validate(heap, &mut ctx, &expected)
+            .unwrap_or_else(|e| panic!("mt post-run checker, thread {tid}: {e}"));
     }
 }
 

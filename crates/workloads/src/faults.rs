@@ -105,8 +105,11 @@ pub fn run_mt_fault_injection(
 
     let pool_cfg = seeded_pool(cfg, seed);
     let defrag = fault_defrag(scheme);
-    let w = make_workload();
-    let heap = DefragHeap::create(pool_cfg, w.registry(), defrag).expect("mt fault pool");
+    // The mt driver stores per-thread roots in a directory object whose
+    // type the workload does not know; both creation and every recovery
+    // open below must use the extended registry.
+    let (reg, _) = crate::driver::mt_registry(make_workload().registry(), threads);
+    let heap = DefragHeap::create(pool_cfg, reg, defrag).expect("mt fault pool");
     let done = Arc::new(AtomicBool::new(false));
     let progress = Arc::new(AtomicU64::new(0));
 
@@ -138,7 +141,7 @@ pub fn run_mt_fault_injection(
     {
         let mut mt_cfg = cfg.clone();
         mt_cfg.defrag = defrag;
-        let _ = crate::driver::run_mt_on(w, threads, &mt_cfg, &heap, Some(progress));
+        let _ = crate::driver::run_mt_on(make_workload, threads, &mt_cfg, &heap, Some(progress));
     }
     done.store(true, Ordering::Release);
     let images = sampler.join().expect("sampler");
@@ -148,7 +151,8 @@ pub fn run_mt_fault_injection(
         ..FaultReport::default()
     };
     for (i, image) in images.iter().enumerate() {
-        match DefragHeap::open_recovered(image, make_workload().registry(), defrag) {
+        let (reg, _) = crate::driver::mt_registry(make_workload().registry(), threads);
+        match DefragHeap::open_recovered(image, reg, defrag) {
             Ok((heap2, rec)) => {
                 if rec.had_cycle {
                     report.mid_cycle += 1;

@@ -7,7 +7,7 @@
 use ffccd::{DefragHeap, Scheme};
 use ffccd_pmem::MachineConfig;
 use ffccd_workloads::adversary::replay_adversary_subset_full;
-use ffccd_workloads::driver::{DriverConfig, PhaseMix};
+use ffccd_workloads::driver::{DriverConfig, MtConfig, MtSchedule, PhaseMix};
 use ffccd_workloads::faults::{
     replay_crash_site, replay_crash_site_full, run_crash_site_sweep, run_crash_site_sweep_jobs,
     CrashPlan,
@@ -140,9 +140,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// single-bank deterministic mode has to reproduce them exactly — same
 /// firing op, same media bytes — forever.
 ///
-/// The last case repeats a triple with `banks = 8` in the caller's
-/// machine config: sweep/replay paths must force the deterministic
-/// single-bank mode themselves, so the fingerprint may not change.
+/// Every triple is replayed under three caller configs: the default, one
+/// asking for `banks = 8`, and one additionally carrying the 4-thread mt
+/// driver knobs (seeded schedule, eager counter flushing). Sweep/replay
+/// paths must force the deterministic single-bank mode themselves and
+/// ignore mt-only settings entirely, so no fingerprint may change.
 #[test]
 fn pinned_triples_replay_byte_identically() {
     /// (workload, factory, scheme, seed, site, firing op, media FNV-1a).
@@ -166,19 +168,27 @@ fn pinned_triples_replay_byte_identically() {
         ("AVL", make_avl, Scheme::FfccdFenceFree, 0x517e13, 683398, 1441, 0x6e5dbf65353165fc),
     ];
     for (name, make, scheme, seed, site, op, hash) in pinned {
-        for banks in [0usize, 8] {
+        for (banks, mt_knobs) in [(0usize, false), (8, false), (8, true)] {
             let mut cfg = sec71_cfg(scheme, seed);
             cfg.pool.machine.banks = banks;
+            if mt_knobs {
+                // The config a 4-thread mt caller would hand over; replay
+                // is single-threaded and must not look at any of it.
+                cfg.mt = MtConfig {
+                    schedule: MtSchedule::Seeded(0x4444),
+                    counter_flush_every: Some(1),
+                };
+            }
             let r = replay_crash_site_full(make, scheme, seed, site, &cfg)
                 .expect("pinned site must fire");
             assert_eq!(
                 r.op, op,
-                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks}: firing op moved"
+                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks} mt={mt_knobs}: firing op moved"
             );
             assert_eq!(
                 fnv1a(r.image.media().as_bytes()),
                 hash,
-                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks}: crash image bytes moved"
+                "{name} {scheme:?} ({seed:#x}, {site}) banks={banks} mt={mt_knobs}: crash image bytes moved"
             );
         }
     }

@@ -1,16 +1,26 @@
-//! Multi-threaded driver determinism and fixed-seed cycle-total pins.
+//! Multi-threaded driver tests: free-running concurrency, seeded-schedule
+//! determinism, and fixed-seed cycle-total pins.
 //!
-//! The condvar turn-taker serializes application threads into a strict
-//! round-robin, so a multi-threaded run is a deterministic function of
-//! (workload, threads, config) — two runs must agree on every sample and
-//! every cycle total. The pinned single-thread totals guard the lock-path
+//! The mt driver no longer serializes mutators through a turn lock: under
+//! `MtSchedule::Free`, threads race over the banked engine and the striped
+//! pool, and correctness comes from the driver's post-run per-shard
+//! checker. `MtSchedule::Seeded` totally orders every op through a
+//! PRNG-driven turn scheduler, giving byte-deterministic replay even over
+//! a banked engine — that mode carries the determinism and stats-
+//! conservation gates. The pinned single-thread totals guard the lock-path
 //! refactors (striped relocation locks, shared-read engine path, batched
-//! counters): all of them are host-side only, so the simulated numbers
-//! must never move.
+//! counters, per-arena allocation): all host-side only, so the simulated
+//! numbers must never move.
 
-use ffccd::Scheme;
-use ffccd_workloads::driver::{run, run_mt, DriverConfig, PhaseMix, RunResult};
-use ffccd_workloads::LinkedList;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ffccd::{DefragHeap, Scheme};
+use ffccd_pmem::Ctx;
+use ffccd_workloads::driver::{run, run_mt, DriverConfig, MtSchedule, PhaseMix, RunResult};
+use ffccd_workloads::{LinkedList, Workload};
 
 fn tiny_cfg(scheme: Scheme) -> DriverConfig {
     let mut cfg = DriverConfig::new(scheme);
@@ -35,25 +45,65 @@ fn assert_runs_match(a: &RunResult, b: &RunResult, what: &str) {
     );
 }
 
+/// Free-running runs are not byte-deterministic, but the driver's built-in
+/// per-shard checker must pass and the run must produce sane aggregates —
+/// this is the everyday "true concurrency" path.
 #[test]
-fn run_mt_is_deterministic_across_reruns() {
+fn free_running_mt_passes_the_shard_checker() {
     for scheme in [Scheme::Sfccd, Scheme::FfccdCheckLookup] {
         for threads in [2usize, 4] {
             let cfg = tiny_cfg(scheme);
-            let a = run_mt(Box::new(LinkedList::new()), threads, &cfg);
-            let b = run_mt(Box::new(LinkedList::new()), threads, &cfg);
-            assert_runs_match(&a, &b, &format!("{scheme} x{threads}"));
-            assert!(a.gc.barrier_invocations > 0, "{scheme}: barriers fired");
-            assert!(!a.samples.is_empty(), "{scheme}: sampler produced samples");
+            let r = run_mt(&|| Box::new(LinkedList::new()), threads, &cfg);
+            assert_eq!(r.ops, 1300 / threads as u64 * threads as u64);
+            assert!(r.gc.barrier_invocations > 0, "{scheme}: barriers fired");
+            assert!(!r.samples.is_empty(), "{scheme}: sampler produced samples");
         }
     }
+}
+
+/// Under the seeded turn scheduler every engine operation is totally
+/// ordered by the PRNG, so two runs with the same seed must agree on every
+/// sample and every cycle total — even over a banked engine (`banks = 8`),
+/// whose per-bank state would otherwise depend on racy interleaving.
+#[test]
+fn seeded_mt_is_deterministic_across_reruns() {
+    for scheme in [Scheme::Sfccd, Scheme::FfccdCheckLookup] {
+        for threads in [2usize, 4] {
+            for banks in [0usize, 8] {
+                let mut cfg = tiny_cfg(scheme);
+                cfg.pool.machine.banks = banks;
+                cfg.mt.schedule = MtSchedule::Seeded(0xC0FFEE ^ threads as u64);
+                let a = run_mt(&|| Box::new(LinkedList::new()), threads, &cfg);
+                let b = run_mt(&|| Box::new(LinkedList::new()), threads, &cfg);
+                assert_runs_match(&a, &b, &format!("{scheme} x{threads} banks={banks}"));
+                assert!(a.gc.barrier_invocations > 0, "{scheme}: barriers fired");
+            }
+        }
+    }
+}
+
+/// Per-thread counter batching must only change *when* deltas reach the
+/// shared stats, never the totals: a seeded run with flush-every-bump must
+/// report byte-identical results to the same run with the default batch.
+#[test]
+fn seeded_stats_conserve_across_counter_batching() {
+    let threads = 4;
+    let mut eager = tiny_cfg(Scheme::FfccdCheckLookup);
+    eager.mt.schedule = MtSchedule::Seeded(0xBA7C4);
+    eager.mt.counter_flush_every = Some(1);
+    let mut batched = eager.clone();
+    batched.mt.counter_flush_every = Some(64);
+    let a = run_mt(&|| Box::new(LinkedList::new()), threads, &eager);
+    let b = run_mt(&|| Box::new(LinkedList::new()), threads, &batched);
+    assert_runs_match(&a, &b, "flush_every 1 vs 64");
+    assert!(a.gc.barrier_invocations > 0, "barriers fired");
 }
 
 #[test]
 fn run_mt_samples_on_the_global_op_cadence() {
     let cfg = tiny_cfg(Scheme::Sfccd);
     let threads = 4;
-    let r = run_mt(Box::new(LinkedList::new()), threads, &cfg);
+    let r = run_mt(&|| Box::new(LinkedList::new()), threads, &cfg);
     let stride = (cfg.sample_every * threads) as u64;
     for (i, s) in r.samples.iter().enumerate() {
         assert_eq!(
@@ -62,6 +112,116 @@ fn run_mt_samples_on_the_global_op_cadence() {
             "sample {i} must land on the global cadence"
         );
     }
+}
+
+/// A workload wrapper whose Nth insert blocks until *both* threads are
+/// inside an insert at the same time. Under the free-running schedule the
+/// rendezvous completes almost instantly; any hidden global turn lock on
+/// the op path would leave the first arriver holding the turn forever, so
+/// the wait times out and the test fails.
+struct Rendezvous {
+    inner: LinkedList,
+    gate: Arc<(Mutex<usize>, Condvar)>,
+    overlapped: Arc<AtomicBool>,
+    inserts: usize,
+}
+
+const RENDEZVOUS_AT: usize = 5;
+
+impl Workload for Rendezvous {
+    fn name(&self) -> &'static str {
+        "LL+rendezvous"
+    }
+
+    fn registry(&self) -> ffccd_pmop::TypeRegistry {
+        self.inner.registry()
+    }
+
+    fn setup(&mut self, heap: &DefragHeap, ctx: &mut Ctx) {
+        self.inner.setup(heap, ctx);
+    }
+
+    fn insert(&mut self, heap: &DefragHeap, ctx: &mut Ctx, key: u64, value_size: usize) {
+        self.inserts += 1;
+        if self.inserts == RENDEZVOUS_AT {
+            let (lock, cv) = &*self.gate;
+            let mut arrived = lock.lock().expect("gate");
+            *arrived += 1;
+            if *arrived >= 2 {
+                // Both threads are inside insert() right now: op windows
+                // overlap.
+                self.overlapped.store(true, Ordering::SeqCst);
+                cv.notify_all();
+            } else {
+                // Park (bounded) until the other thread's op window opens.
+                let mut waited = Duration::ZERO;
+                while *arrived < 2 && waited < Duration::from_secs(30) {
+                    let (g, t) = cv
+                        .wait_timeout(arrived, Duration::from_secs(1))
+                        .expect("gate");
+                    arrived = g;
+                    if t.timed_out() {
+                        waited += Duration::from_secs(1);
+                    }
+                }
+            }
+        }
+        self.inner.insert(heap, ctx, key, value_size);
+    }
+
+    fn delete(&mut self, heap: &DefragHeap, ctx: &mut Ctx, key: u64) -> bool {
+        self.inner.delete(heap, ctx, key)
+    }
+
+    fn contains(&mut self, heap: &DefragHeap, ctx: &mut Ctx, key: u64) -> bool {
+        self.inner.contains(heap, ctx, key)
+    }
+
+    fn validate(
+        &self,
+        heap: &DefragHeap,
+        ctx: &mut Ctx,
+        expected: &BTreeSet<u64>,
+    ) -> Result<(), String> {
+        self.inner.validate(heap, ctx, expected)
+    }
+}
+
+/// The tentpole's proof obligation: two mutator threads must be observed
+/// *simultaneously inside* structure operations — i.e. there is no global
+/// turn lock anywhere on the op path.
+#[test]
+fn free_running_threads_overlap_op_windows() {
+    let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let overlapped = Arc::new(AtomicBool::new(false));
+    let mut cfg = tiny_cfg(Scheme::Baseline);
+    // All-insert mix, and the rendezvous sits well before the first
+    // maybe_defrag trigger (local op 32), so neither thread can be stuck
+    // behind a stop-the-world phase while the other waits at the gate.
+    cfg.mix = PhaseMix {
+        init: 240,
+        phase_ops: 0,
+        phases: 0,
+    };
+    let make = {
+        let gate = gate.clone();
+        let overlapped = overlapped.clone();
+        move || -> Box<dyn Workload> {
+            Box::new(Rendezvous {
+                inner: LinkedList::new(),
+                gate: gate.clone(),
+                overlapped: overlapped.clone(),
+                inserts: 0,
+            })
+        }
+    };
+    let r = run_mt(&make, 2, &cfg);
+    assert_eq!(r.ops, 240);
+    assert!(
+        overlapped.load(Ordering::SeqCst),
+        "two threads were never inside an op at the same time: \
+         the op path is still serialized by a global turn lock"
+    );
 }
 
 /// Fixed-seed single-thread cycle totals, pinned before the lock-light

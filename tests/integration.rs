@@ -95,7 +95,7 @@ fn crash_anywhere_in_a_full_run_recovers() {
 fn multithreaded_run_is_consistent() {
     use ffccd_repro::workloads::driver::run_mt;
     let cfg = small_driver(Scheme::FfccdCheckLookup, 5);
-    let r = run_mt(Box::new(ffccd_repro::workloads::BzTree::new()), 4, &cfg);
+    let r = run_mt(&|| Box::new(ffccd_repro::workloads::BzTree::new()), 4, &cfg);
     assert!(r.ops > 0);
     assert!(r.avg_frag >= 1.0);
 }
