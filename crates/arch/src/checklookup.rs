@@ -4,13 +4,31 @@
 //! every read barrier asks: *is this address in a relocation page?* and *if
 //! so, where is its destination?* — replacing the software page check and
 //! in-memory forwarding-table walk that dominate Espresso's barrier cost.
+//!
+//! The unit is split in two so the common case never takes a host lock:
+//!
+//! * [`Armed`]: the per-cycle programming (base address, bloom filter, the
+//!   summary phase's forwarding entries, and — when the relocation fast
+//!   path is enabled — a volatile mirror of the moved bitmap). Immutable
+//!   after [`CheckLookupUnit::begin_cycle`] except for the atomic moved
+//!   bits, and published through an `Arc` snapshot, so lookups that the
+//!   mirror can prove *already moved* resolve lock-free.
+//! * Hot state (BFC residency flag, PMFTLB, unit stats): mutated on every
+//!   charged lookup, kept behind a mutex exactly as before — the charge
+//!   sequence on this path is pinned by cycle-total regressions.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use ffccd_pmem::{Ctx, PmEngine};
 
 use crate::bloom::BloomFilter;
 use crate::pmft::{Pmft, PmftEntry};
+
+/// Moved-mirror words per frame (256 slots, one bit each).
+const MOVED_WORDS_PER_FRAME: usize = 256 / 64;
 
 /// Outcome of a `checklookup`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +44,16 @@ pub enum LookupResult {
         /// Destination start slot within the frame (minor distance).
         dest_slot: u8,
     },
+    /// Fast path (only when armed with `fastpath`): the unit's volatile
+    /// moved mirror proves the object has already been relocated to
+    /// (`dest_frame`, `dest_slot`) — the barrier may redirect without
+    /// re-reading the moved bitmap from PM or taking a relocation lock.
+    AlreadyMoved {
+        /// Destination frame (major distance).
+        dest_frame: u64,
+        /// Destination start slot within the frame (minor distance).
+        dest_slot: u8,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -36,8 +64,9 @@ struct UnitStats {
     pmftlb_misses: u64,
 }
 
+/// Per-cycle programming, shared via `Arc` snapshot (see module docs).
 #[derive(Debug)]
-struct UnitState {
+struct Armed {
     base: u64,
     /// The relocation-page filter. The paper builds up to 8 in-memory
     /// filters sharded by VA range; at our pool sizes one 1 KiB filter
@@ -45,12 +74,32 @@ struct UnitState {
     /// so the BFC holds it resident for the whole cycle and the common-case
     /// check costs 2 cycles. The fill penalty is paid on first use.
     filter: BloomFilter,
+    /// Whether the clean-lookup fast path is armed for this cycle.
+    fastpath: bool,
+    /// Forwarding entries indexed by relocation frame (summary's table;
+    /// immutable for the cycle).
+    entries: Vec<Option<PmftEntry>>,
+    /// Volatile mirror of the moved bitmap, one bit per slot per frame.
+    /// Set (release) by [`CheckLookupUnit::note_moved`] *after* the
+    /// relocation's stores complete; a set bit therefore proves the object
+    /// is relocated and its destination copy is readable.
+    moved: Vec<AtomicU64>,
+}
+
+impl Armed {
+    fn is_moved(&self, frame: u64, slot: usize) -> bool {
+        let w = frame as usize * MOVED_WORDS_PER_FRAME + slot / 64;
+        self.moved[w].load(Ordering::Acquire) >> (slot % 64) & 1 == 1
+    }
+}
+
+#[derive(Debug)]
+struct HotState {
     /// Whether the BFC has fetched the filter yet.
     loaded: bool,
     /// PMFTLB: most-recently-used last.
     tlb: Vec<PmftEntry>,
     tlb_cap: usize,
-    active: bool,
     stats: UnitStats,
 }
 
@@ -59,7 +108,8 @@ struct UnitState {
 #[derive(Debug)]
 pub struct CheckLookupUnit {
     pmft: Pmft,
-    state: Mutex<UnitState>,
+    armed: RwLock<Option<Arc<Armed>>>,
+    hot: Mutex<HotState>,
 }
 
 impl CheckLookupUnit {
@@ -68,49 +118,74 @@ impl CheckLookupUnit {
     pub fn new(pmft: Pmft) -> Self {
         CheckLookupUnit {
             pmft,
-            state: Mutex::new(UnitState {
-                base: 0,
-                filter: BloomFilter::new(64),
+            armed: RwLock::new(None),
+            hot: Mutex::new(HotState {
                 loaded: false,
                 tlb: Vec::new(),
                 tlb_cap: 16,
-                active: false,
                 stats: UnitStats::default(),
             }),
         }
     }
 
     /// Programs the unit for a compaction cycle: builds the in-memory bloom
-    /// filters over `reloc_frames` and arms the BFC/PMFTLB.
-    pub fn begin_cycle(&self, engine: &PmEngine, base: u64, reloc_frames: &[u64]) {
+    /// filter over the entries' relocation frames and arms the BFC/PMFTLB.
+    /// With `fastpath` the unit additionally keeps the forwarding entries
+    /// and a volatile moved mirror so clean lookups can resolve lock-free
+    /// ([`LookupResult::AlreadyMoved`]).
+    pub fn begin_cycle(&self, engine: &PmEngine, base: u64, entries: &[PmftEntry], fastpath: bool) {
         let cfg = engine.config();
+        let num_frames = self.pmft.meta().num_frames as usize;
         let mut filter = BloomFilter::new(cfg.bloom_filter_bytes);
-        for &f in reloc_frames {
-            filter.insert(self.vpn_of_frame(base, f));
+        let mut entvec: Vec<Option<PmftEntry>> = vec![None; num_frames];
+        for e in entries {
+            filter.insert(self.vpn_of_frame(base, e.reloc_frame));
+            entvec[e.reloc_frame as usize] = Some(e.clone());
         }
-        let mut s = self.state.lock();
-        s.base = base;
-        s.filter = filter;
-        s.loaded = false;
-        s.tlb.clear();
-        s.tlb_cap = cfg.pmftlb_entries.max(1);
-        s.active = true;
-        s.stats = UnitStats::default();
+        let moved = (0..num_frames * MOVED_WORDS_PER_FRAME)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        {
+            let mut s = self.hot.lock();
+            s.loaded = false;
+            s.tlb.clear();
+            s.tlb_cap = cfg.pmftlb_entries.max(1);
+            s.stats = UnitStats::default();
+        }
+        *self.armed.write() = Some(Arc::new(Armed {
+            base,
+            filter,
+            fastpath,
+            entries: entvec,
+            moved,
+        }));
     }
 
     /// Disarms the unit at cycle end: every lookup returns
     /// [`LookupResult::NotRelocation`] at zero charged cost.
     pub fn end_cycle(&self) {
-        let mut s = self.state.lock();
-        s.active = false;
-        s.filter.clear();
+        *self.armed.write() = None;
+        let mut s = self.hot.lock();
         s.tlb.clear();
         s.loaded = false;
     }
 
     /// Whether a cycle is armed.
     pub fn is_active(&self) -> bool {
-        self.state.lock().active
+        self.armed.read().is_some()
+    }
+
+    /// Records in the volatile mirror that the object starting at
+    /// `(frame, slot)` has been relocated. Call *after* the relocation's
+    /// stores complete — a reader observing the bit trusts the destination
+    /// copy. No-op unless the cycle was armed with the fast path.
+    pub fn note_moved(&self, frame: u64, slot: usize) {
+        if let Some(a) = self.armed.read().as_ref() {
+            if a.fastpath {
+                let w = frame as usize * MOVED_WORDS_PER_FRAME + slot / 64;
+                a.moved[w].fetch_or(1 << (slot % 64), Ordering::Release);
+            }
+        }
     }
 
     fn vpn_of_frame(&self, base: u64, frame: u64) -> u64 {
@@ -122,12 +197,11 @@ impl CheckLookupUnit {
     pub fn checklookup(&self, ctx: &mut Ctx, engine: &PmEngine, va: u64) -> LookupResult {
         let cfg = engine.config();
         ctx.stats.checklookups += 1;
-        let mut s = self.state.lock();
-        if !s.active {
+        let Some(armed) = self.armed.read().clone() else {
             return LookupResult::NotRelocation;
-        }
+        };
         // Locate the object's frame.
-        let off = va.wrapping_sub(s.base);
+        let off = va.wrapping_sub(armed.base);
         let meta = *self.pmft.meta();
         if off < meta.data_start || off >= meta.data_start + meta.num_frames * 4096 {
             ctx.charge(cfg.bloom_check_latency);
@@ -135,6 +209,25 @@ impl CheckLookupUnit {
         }
         let frame = (off - meta.data_start) / 4096;
         let slot = ((off - meta.data_start) % 4096 / 16) as usize;
+        // Clean-lookup fast path: the volatile mirror proves the object
+        // already moved, so the answer comes straight from the unit's own
+        // state — BFC check plus a PMFTLB-speed hit, no PM traffic, no
+        // shared mutable state touched. (A set bit implies a relocation
+        // already ran, which implies a slow lookup already fetched the
+        // filter — the BFC fill penalty cannot be outstanding here.)
+        if armed.fastpath && armed.is_moved(frame, slot) {
+            if let Some(e) = armed.entries[frame as usize].as_ref() {
+                if let Some(d) = e.lookup(slot) {
+                    ctx.charge(cfg.bloom_check_latency + cfg.pmftlb_latency);
+                    ctx.stats.barrier_fastpath_hits += 1;
+                    return LookupResult::AlreadyMoved {
+                        dest_frame: e.dest_frame,
+                        dest_slot: d,
+                    };
+                }
+            }
+        }
+        let mut s = self.hot.lock();
         // 1. BFC: fetch the filter on first use, then it stays resident.
         if !s.loaded {
             s.stats.bfc_misses += 1;
@@ -143,7 +236,7 @@ impl CheckLookupUnit {
         }
         ctx.charge(cfg.bloom_check_latency);
         let vpn = va / 4096;
-        if !s.filter.maybe_contains(vpn) {
+        if !armed.filter.maybe_contains(vpn) {
             s.stats.bloom_rejects += 1;
             return LookupResult::NotRelocation;
         }
@@ -187,7 +280,7 @@ impl CheckLookupUnit {
 
     /// (bloom rejects, BFC misses, PMFTLB hits, PMFTLB misses).
     pub fn unit_stats(&self) -> (u64, u64, u64, u64) {
-        let s = self.state.lock();
+        let s = self.hot.lock();
         (
             s.stats.bloom_rejects,
             s.stats.bfc_misses,
@@ -207,21 +300,27 @@ mod tests {
 
     const BASE: u64 = 0x5000_0000_0000;
 
-    fn setup(reloc: &[u64]) -> (PmEngine, CheckLookupUnit, Ctx, GcMetaLayout) {
+    fn setup_fast(reloc: &[u64], fastpath: bool) -> (PmEngine, CheckLookupUnit, Ctx, GcMetaLayout) {
         let pool = PoolLayout::compute(1 << 20, 4096);
         let meta = GcMetaLayout::from_pool(&pool);
         let engine = PmEngine::new(MachineConfig::default(), pool.total_bytes);
         let mut ctx = Ctx::new(engine.config());
         let pmft = Pmft::new(meta);
+        let mut entries = Vec::new();
         for &f in reloc {
             let mut e = PmftEntry::new(f, f + 50);
             e.map(0, 4);
             e.map(32, 8);
             pmft.store(&mut ctx, &engine, &e);
+            entries.push(e);
         }
         let unit = CheckLookupUnit::new(pmft);
-        unit.begin_cycle(&engine, BASE, reloc);
+        unit.begin_cycle(&engine, BASE, &entries, fastpath);
         (engine, unit, ctx, meta)
+    }
+
+    fn setup(reloc: &[u64]) -> (PmEngine, CheckLookupUnit, Ctx, GcMetaLayout) {
+        setup_fast(reloc, false)
     }
 
     fn va(meta: &GcMetaLayout, frame: u64, slot: u64) -> u64 {
@@ -301,5 +400,62 @@ mod tests {
         let (engine, unit, mut ctx, _) = setup(&[3]);
         let r = unit.checklookup(&mut ctx, &engine, 0x1234);
         assert_eq!(r, LookupResult::NotRelocation);
+    }
+
+    #[test]
+    fn note_moved_upgrades_lookup_to_already_moved() {
+        let (engine, unit, mut ctx, meta) = setup_fast(&[3], true);
+        // Before the move: the slow path forwards.
+        let r = unit.checklookup(&mut ctx, &engine, va(&meta, 3, 0));
+        assert_eq!(
+            r,
+            LookupResult::Forwarded {
+                dest_frame: 53,
+                dest_slot: 4
+            }
+        );
+        assert_eq!(ctx.stats.barrier_fastpath_hits, 0);
+        unit.note_moved(3, 0);
+        let c0 = ctx.cycles();
+        let r = unit.checklookup(&mut ctx, &engine, va(&meta, 3, 0));
+        assert_eq!(
+            r,
+            LookupResult::AlreadyMoved {
+                dest_frame: 53,
+                dest_slot: 4
+            }
+        );
+        assert_eq!(ctx.stats.barrier_fastpath_hits, 1);
+        let cfg = engine.config();
+        assert_eq!(
+            ctx.cycles() - c0,
+            cfg.bloom_check_latency + cfg.pmftlb_latency,
+            "fast-path hit must cost a BFC check plus a PMFTLB-speed hit"
+        );
+        // The sibling slot is still unmoved: slow path, exact bit check.
+        let r = unit.checklookup(&mut ctx, &engine, va(&meta, 3, 32));
+        assert_eq!(
+            r,
+            LookupResult::Forwarded {
+                dest_frame: 53,
+                dest_slot: 8
+            }
+        );
+        assert_eq!(ctx.stats.barrier_fastpath_hits, 1);
+    }
+
+    #[test]
+    fn note_moved_is_inert_without_fastpath() {
+        let (engine, unit, mut ctx, meta) = setup(&[3]);
+        unit.note_moved(3, 0);
+        let r = unit.checklookup(&mut ctx, &engine, va(&meta, 3, 0));
+        assert_eq!(
+            r,
+            LookupResult::Forwarded {
+                dest_frame: 53,
+                dest_slot: 4
+            }
+        );
+        assert_eq!(ctx.stats.barrier_fastpath_hits, 0);
     }
 }

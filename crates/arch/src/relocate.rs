@@ -21,20 +21,23 @@ use ffccd_pmem::{Ctx, PmEngine};
 ///
 /// Panics if either range leaves the engine's media.
 pub fn relocate(ctx: &mut Ctx, engine: &PmEngine, src: u64, dst: u64, len: u64) {
+    // One pooled scratch buffer serves every chunk of the copy; taking it
+    // per chunk would bounce it through the pool on frame-crossing copies.
+    let mut buf = ctx.take_buf(4096.min(len) as usize);
     let mut copied = 0u64;
     while copied < len {
         let remaining = len - copied;
         // Split so neither side crosses a frame boundary.
         let src_room = 4096 - (src + copied) % 4096;
         let dst_room = 4096 - (dst + copied) % 4096;
-        let chunk = remaining.min(src_room).min(dst_room);
+        let chunk = remaining.min(src_room).min(dst_room) as usize;
         ctx.stats.relocates += 1;
         ctx.charge(engine.config().rbb_latency);
-        let data = engine.read_pooled(ctx, src + copied, chunk);
-        engine.write_pending(ctx, dst + copied, &data);
-        ctx.put_buf(data);
-        copied += chunk;
+        engine.read(ctx, src + copied, &mut buf[..chunk]);
+        engine.write_pending(ctx, dst + copied, &buf[..chunk]);
+        copied += chunk as u64;
     }
+    ctx.put_buf(buf);
 }
 
 #[cfg(test)]

@@ -23,14 +23,16 @@ fn setup_unit(pmftlb_entries: usize) -> (PmEngine, CheckLookupUnit, Vec<u64>, Gc
     let mut ctx = Ctx::new(engine.config());
     let pmft = Pmft::new(meta);
     let reloc: Vec<u64> = (0..64u64).map(|i| i * 7 % meta.num_frames).collect();
+    let mut entries = Vec::new();
     for &f in &reloc {
         let mut e = PmftEntry::new(f, (f + 100) % meta.num_frames);
         e.map(0, 0);
         e.map(32, 12);
         pmft.store(&mut ctx, &engine, &e);
+        entries.push(e);
     }
     let unit = CheckLookupUnit::new(pmft);
-    unit.begin_cycle(&engine, BASE, &reloc);
+    unit.begin_cycle(&engine, BASE, &entries, false);
     (engine, unit, reloc, meta)
 }
 

@@ -93,6 +93,17 @@ pub struct DefragConfig {
     /// the old single global relocation lock. Purely a host-side locking
     /// choice — cycle accounting is identical at every stripe count.
     pub reloc_stripes: usize,
+    /// Enable the first-touch barrier fast path (§4.4/§4.5 combined):
+    /// the checklookup unit keeps a volatile mirror of the moved bitmap so
+    /// repeat touches of a relocated object resolve lock-free without
+    /// re-reading PM, and a first touch relocates every pending sibling
+    /// sharing the moved-bitmap byte in one critical section, coalescing
+    /// their per-object moved-bit read-modify-write persists into a single
+    /// byte-granularity persist. Changes *simulated accounting* (fewer
+    /// loads/persists per relocation), so it defaults to `false`; every
+    /// pinned fingerprint and cycle total is recorded with it off.
+    #[serde(default)]
+    pub reloc_fastpath: bool,
 }
 
 impl DefragConfig {
@@ -108,6 +119,7 @@ impl DefragConfig {
             max_pages_per_cycle: 256,
             cooldown_ops: 1024,
             reloc_stripes: 64,
+            reloc_fastpath: false,
         }
     }
 

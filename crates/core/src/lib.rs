@@ -31,7 +31,7 @@ mod validate;
 mod walk;
 
 pub use config::{DefragConfig, Scheme};
-pub use heap::{DefragHeap, RecoveryRerun};
+pub use heap::{DefragHeap, MutatorGuard, RecoveryRerun};
 pub use phases::phase_sites;
 pub use probe::{ProbeId, ProbePhase};
 pub use recovery::{recover, RecoveryReport};

@@ -303,7 +303,8 @@ impl DefragHeap {
             engine.set_observer(rbb.clone());
         }
         if let Some(clu) = &inner.clu {
-            clu.begin_cycle(engine, pool.base(), &reloc_frames);
+            let entries: Vec<PmftEntry> = mirror_items.iter().map(|(_, e, _)| e.clone()).collect();
+            clu.begin_cycle(engine, pool.base(), &entries, inner.cfg.reloc_fastpath);
         }
         // Mirror first, then cycle state, then the in_cycle gate barrier
         // paths key on — so any thread seeing the cycle sees the mirror.

@@ -5,9 +5,8 @@
 //! domain*, and which of those carry the `pending` bit planted by the
 //! `relocate` instruction (paper §4.2, Figure 10: "Tagged Normal Cache").
 
-use std::collections::HashMap;
-
 use crate::addr::{Line, CACHELINE_BYTES};
+use crate::fxhash::FxHashMap;
 use crate::media::Media;
 
 /// One cached line: 64 data bytes plus dirty/pending state.
@@ -25,17 +24,24 @@ pub struct CacheLine {
 /// The volatile cache: a map from [`Line`] to [`CacheLine`] with bounded
 /// capacity and deterministic pseudo-random victim selection.
 ///
-/// Residents live in a dense `entries` vector with a `HashMap` index into
-/// it. Victims are chosen by position in the vector, never by `HashMap`
-/// iteration order — the std `HashMap` randomizes its hash keys per
-/// instance, so any behaviour depending on its order would differ between
-/// two engines built from the same seed and break crash-site replay.
+/// Residents live in a dense `entries` vector with a hash index into it
+/// (FxHash — the index sits on every simulated access, and line numbers
+/// are trusted internal keys). Victims are chosen by position in the
+/// vector, never by map iteration order — any behaviour depending on
+/// bucket order would differ between engines and break crash-site replay.
 #[derive(Debug)]
 pub struct CacheSim {
-    index: HashMap<Line, usize>,
+    index: FxHashMap<Line, usize>,
     entries: Vec<(Line, CacheLine)>,
     capacity: usize,
     rng: u64,
+    /// Count of dirty residents, maintained incrementally so
+    /// [`CacheSim::evict_random_dirty`] can bail out in O(1) when there is
+    /// nothing to write back — the probe loop otherwise walks the whole
+    /// dense vector on a mostly-clean cache (it fires on ~1/`evict_denom`
+    /// stores, and tens of thousands of clean entries made that walk a
+    /// dominant host cost on write-heavy paths).
+    dirty_count: usize,
 }
 
 /// A line evicted from the cache, headed for the WPQ (if dirty).
@@ -55,10 +61,11 @@ impl CacheSim {
     /// Creates an empty cache of `capacity` lines.
     pub fn new(capacity: usize, seed: u64) -> Self {
         CacheSim {
-            index: HashMap::with_capacity(capacity.min(1 << 16)),
+            index: FxHashMap::default(),
             entries: Vec::with_capacity(capacity.min(1 << 16)),
             capacity: capacity.max(1),
             rng: seed | 1,
+            dirty_count: 0,
         }
     }
 
@@ -71,6 +78,9 @@ impl CacheSim {
     fn remove(&mut self, line: Line) -> Option<CacheLine> {
         let i = self.index.remove(&line)?;
         let (_, cl) = self.entries.swap_remove(i);
+        if cl.dirty {
+            self.dirty_count -= 1;
+        }
         if let Some((moved, _)) = self.entries.get(i) {
             self.index.insert(*moved, i);
         }
@@ -99,6 +109,57 @@ impl CacheSim {
     /// Whether `line` is resident (hit).
     pub fn contains(&self, line: Line) -> bool {
         self.index.contains_key(&line)
+    }
+
+    /// Position of `line` in the dense entry vector, for the index-based
+    /// accessors below. The position is invalidated by any insert, removal
+    /// or eviction — use it only for an immediately-following access.
+    pub fn pos_of(&self, line: Line) -> Option<usize> {
+        self.index.get(&line).copied()
+    }
+
+    /// Reads from the resident line at `pos` (from [`CacheSim::pos_of`] or
+    /// [`CacheSim::insert_at`]) — skips the hash probe a by-line read pays.
+    pub fn read_at(&self, pos: usize, offset_in_line: usize, buf: &mut [u8]) {
+        let cl = &self.entries[pos].1;
+        buf.copy_from_slice(&cl.data[offset_in_line..offset_in_line + buf.len()]);
+    }
+
+    /// Writes into the resident line at `pos`, marking it dirty and OR-ing
+    /// in `pending` — the index-based sibling of
+    /// [`CacheSim::write_resident`].
+    pub fn write_at(&mut self, pos: usize, offset_in_line: usize, data: &[u8], pending: bool) {
+        let cl = &mut self.entries[pos].1;
+        cl.data[offset_in_line..offset_in_line + data.len()].copy_from_slice(data);
+        if !cl.dirty {
+            self.dirty_count += 1;
+        }
+        cl.dirty = true;
+        cl.pending |= pending;
+    }
+
+    /// [`CacheSim::insert`] returning the new line's position. The caller
+    /// must have checked non-residency (via [`CacheSim::pos_of`]); skipping
+    /// the redundant re-check is the point of this variant.
+    pub fn insert_at(
+        &mut self,
+        line: Line,
+        data: [u8; CACHELINE_BYTES as usize],
+        evicted_out: &mut Vec<Evicted>,
+    ) -> usize {
+        debug_assert!(!self.index.contains_key(&line));
+        self.make_room(evicted_out);
+        let pos = self.entries.len();
+        self.index.insert(line, pos);
+        self.entries.push((
+            line,
+            CacheLine {
+                data,
+                dirty: false,
+                pending: false,
+            },
+        ));
+        pos
     }
 
     /// Immutable view of a resident line.
@@ -130,16 +191,7 @@ impl CacheSim {
         if self.index.contains_key(&line) {
             return;
         }
-        self.make_room(evicted_out);
-        self.index.insert(line, self.entries.len());
-        self.entries.push((
-            line,
-            CacheLine {
-                data,
-                dirty: false,
-                pending: false,
-            },
-        ));
+        self.insert_at(line, data, evicted_out);
     }
 
     /// Writes `data` into the (resident) line at byte `offset_in_line`,
@@ -161,6 +213,9 @@ impl CacheSim {
             .expect("write_resident: line not resident");
         let cl = &mut self.entries[i].1;
         cl.data[offset_in_line..offset_in_line + data.len()].copy_from_slice(data);
+        if !cl.dirty {
+            self.dirty_count += 1;
+        }
         cl.dirty = true;
         cl.pending |= pending;
     }
@@ -192,6 +247,7 @@ impl CacheSim {
         };
         cl.dirty = false;
         cl.pending = false;
+        self.dirty_count -= 1;
         Some(ev)
     }
 
@@ -199,6 +255,14 @@ impl CacheSim {
     /// "natural writeback" path). Returns the evicted line.
     pub fn evict_random_dirty(&mut self) -> Option<Evicted> {
         if self.entries.is_empty() {
+            return None;
+        }
+        if self.dirty_count == 0 {
+            // The probe would walk every entry and find nothing. It would
+            // still have consumed one rng step picking its start, so the
+            // shortcut must consume it too to keep victim selection
+            // byte-identical with the scanning version.
+            self.next_rand();
             return None;
         }
         // Probe the dense entry vector from a pseudo-random start, wrapping
@@ -239,6 +303,7 @@ impl CacheSim {
     pub fn invalidate_all(&mut self) {
         self.index.clear();
         self.entries.clear();
+        self.dirty_count = 0;
     }
 
     /// Iterates over all resident dirty lines (used by non-destructive crash
@@ -356,6 +421,28 @@ mod tests {
             order
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dirty_count_tracks_all_transitions() {
+        let m = media();
+        let mut c = CacheSim::new(4, 3);
+        let mut ev = Vec::new();
+        c.touch(Line(0), &m, &mut ev);
+        c.touch(Line(1), &m, &mut ev);
+        assert!(c.evict_random_dirty().is_none());
+        c.write_resident(Line(0), 0, &[1], false);
+        c.write_resident(Line(0), 1, &[2], false); // re-dirty: no double count
+        c.write_resident(Line(1), 0, &[3], false);
+        assert_eq!(c.dirty_count, 2);
+        c.clean(Line(0));
+        assert_eq!(c.dirty_count, 1);
+        assert!(c.evict_random_dirty().is_some());
+        assert_eq!(c.dirty_count, 0);
+        assert!(c.evict_random_dirty().is_none());
+        c.write_resident(Line(0), 0, &[4], false);
+        c.invalidate_all();
+        assert_eq!(c.dirty_count, 0);
     }
 
     #[test]

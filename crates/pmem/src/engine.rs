@@ -281,9 +281,9 @@ impl PmEngine {
             let end = (off + buf.len() as u64).min(line.end());
             let within = (start - line.start()) as usize;
             let len = (end - start) as usize;
-            bank.access_line(self, cur, ctx, line, false, &mut missed);
+            let pos = bank.access_line(self, cur, ctx, line, false, &mut missed);
             bank.cache
-                .read_resident(line, within, &mut buf[cursor..cursor + len]);
+                .read_at(pos, within, &mut buf[cursor..cursor + len]);
             cursor += len;
         }
     }
@@ -309,11 +309,11 @@ impl PmEngine {
             let dst = &mut buf[cursor..cursor + len];
             cursor += len;
             let bank = self.banks[bi].read();
-            if bank.cache.contains(line) {
+            if let Some(pos) = bank.cache.pos_of(line) {
                 ctx.stats.cache_hits += 1;
                 ctx.stats.shared_line_reads += 1;
                 ctx.charge(self.cfg.cache_hit_latency);
-                bank.cache.read_resident(line, within, dst);
+                bank.cache.read_at(pos, within, dst);
                 continue;
             }
             drop(bank);
@@ -321,8 +321,8 @@ impl PmEngine {
             // thread filled the line in the unlocked window, `access_line`
             // re-checks residency and correctly classifies a hit.
             let mut bank = self.banks[bi].write();
-            bank.access_line(self, bi, ctx, line, false, &mut missed);
-            bank.cache.read_resident(line, within, dst);
+            let pos = bank.access_line(self, bi, ctx, line, false, &mut missed);
+            bank.cache.read_at(pos, within, dst);
         }
     }
 
@@ -392,9 +392,10 @@ impl PmEngine {
             let end = (off + data.len() as u64).min(line.end());
             let within = (start - line.start()) as usize;
             let len = (end - start) as usize;
-            bank.access_line(self, cur, ctx, line, true, &mut missed);
+            let full_line = within == 0 && len == CACHELINE_BYTES as usize;
+            let pos = bank.access_line_fill(self, cur, ctx, line, true, &mut missed, !full_line);
             bank.cache
-                .write_resident(line, within, &data[cursor..cursor + len], pending);
+                .write_at(pos, within, &data[cursor..cursor + len], pending);
             cursor += len;
         }
         if cur != first_bank {
@@ -811,9 +812,12 @@ impl Bank {
         }
     }
 
-    /// Ensures `line` is resident and charges hit/miss cost. `missed`
-    /// carries miss state across the lines of one access: overlapped misses
-    /// after the first pay only the bandwidth cost.
+    /// Ensures `line` is resident and charges hit/miss cost, returning the
+    /// line's position in the cache's dense entry vector (valid until the
+    /// next insert/removal) so the caller's data access skips a second
+    /// hash probe. `missed` carries miss state across the lines of one
+    /// access: overlapped misses after the first pay only the bandwidth
+    /// cost.
     fn access_line(
         &mut self,
         eng: &PmEngine,
@@ -822,16 +826,35 @@ impl Bank {
         line: Line,
         store: bool,
         missed: &mut bool,
-    ) {
+    ) -> usize {
+        self.access_line_fill(eng, idx, ctx, line, store, missed, true)
+    }
+
+    /// [`PmBank::access_line`] with an explicit `fill` switch: a store that
+    /// covers the whole line passes `fill = false` to skip the pointless
+    /// inflight/WPQ/media fill read — the caller overwrites all 64 bytes
+    /// before anything can observe them. Charges, statistics and eviction
+    /// decisions are identical either way; only host work is saved.
+    #[allow(clippy::too_many_arguments)]
+    fn access_line_fill(
+        &mut self,
+        eng: &PmEngine,
+        idx: usize,
+        ctx: &mut Ctx,
+        line: Line,
+        store: bool,
+        missed: &mut bool,
+        fill: bool,
+    ) -> usize {
         let cfg = &*eng.cfg;
-        if self.cache.contains(line) {
+        if let Some(pos) = self.cache.pos_of(line) {
             ctx.stats.cache_hits += 1;
             ctx.charge(if store {
                 cfg.store_hit_latency
             } else {
                 cfg.cache_hit_latency
             });
-            return;
+            return pos;
         }
         ctx.stats.cache_misses += 1;
         ctx.charge(if *missed {
@@ -842,20 +865,24 @@ impl Bank {
         *missed = true;
         // Fill must observe in-flight/WPQ contents newer than media (the
         // newest in-flight entry wins over any queued one).
-        let fill = self
-            .inflight
-            .iter()
-            .rev()
-            .find(|(_, e)| e.line == line)
-            .map(|(_, e)| e.data)
-            .or_else(|| self.wpq.entries().find(|e| e.line == line).map(|e| e.data));
-        let data = match fill {
-            Some(d) => d,
-            None => eng.shared.media.read().read_line(line),
+        let data = if fill {
+            let newer = self
+                .inflight
+                .iter()
+                .rev()
+                .find(|(_, e)| e.line == line)
+                .map(|(_, e)| e.data)
+                .or_else(|| self.wpq.get(line).map(|e| e.data));
+            match newer {
+                Some(d) => d,
+                None => eng.shared.media.read().read_line(line),
+            }
+        } else {
+            [0u8; CACHELINE_BYTES as usize]
         };
         let mut evicted = std::mem::take(&mut ctx.evict_scratch);
         evicted.clear();
-        self.cache.insert(line, data, &mut evicted);
+        let pos = self.cache.insert_at(line, data, &mut evicted);
         for ev in evicted.drain(..) {
             eng.shared.counters[idx]
                 .evictions
@@ -864,6 +891,7 @@ impl Bank {
             self.queue_writeback(eng, idx, ev, None);
         }
         ctx.evict_scratch = evicted;
+        pos
     }
 
     /// Background eviction: roughly one dirty line per `evict_denom` stores.

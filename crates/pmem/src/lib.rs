@@ -43,6 +43,7 @@ mod cache;
 mod crash;
 mod ctx;
 mod engine;
+mod fxhash;
 mod media;
 mod observer;
 mod sites;

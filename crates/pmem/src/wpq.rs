@@ -7,9 +7,10 @@
 //! Bitmap Buffer records that the destination cacheline "has reached
 //! persistence".
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::addr::{Line, CACHELINE_BYTES};
+use crate::fxhash::FxHashMap;
 
 /// One queued writeback.
 #[derive(Clone, Debug)]
@@ -34,7 +35,7 @@ pub struct Wpq {
     entries: VecDeque<WpqEntry>,
     capacity: usize,
     /// line → absolute sequence number of its (unique) queued entry.
-    index: HashMap<Line, u64>,
+    index: FxHashMap<Line, u64>,
     /// Entries ever popped: the deque's front holds sequence `popped`.
     popped: u64,
 }
@@ -45,7 +46,7 @@ impl Wpq {
         Wpq {
             entries: VecDeque::with_capacity(capacity),
             capacity: capacity.max(1),
-            index: HashMap::with_capacity(capacity),
+            index: FxHashMap::default(),
             popped: 0,
         }
     }
@@ -103,6 +104,13 @@ impl Wpq {
     /// Immutable view of queued entries (crash snapshots).
     pub fn entries(&self) -> impl Iterator<Item = &WpqEntry> {
         self.entries.iter()
+    }
+
+    /// The queued entry for `line`, if any — O(1) via the line index (the
+    /// cache-miss fill path probes the queue once per missing line).
+    pub fn get(&self, line: Line) -> Option<&WpqEntry> {
+        let &seq = self.index.get(&line)?;
+        Some(&self.entries[(seq - self.popped) as usize])
     }
 }
 

@@ -375,6 +375,9 @@ pub fn run_mt_on(
         let global_op = global_op.clone();
         let op_progress = op_progress.clone();
         handles.push(std::thread::spawn(move || {
+            // Register so the heap knows how many threads can race
+            // first-touch relocation (a sole mutator skips stripe locks).
+            let _mutator = heap.register_mutator();
             let mut gc_ctx = heap.ctx();
             let mut keys = KeyGen::new(seed);
             let mut live: BTreeSet<u64> = BTreeSet::new();
@@ -581,6 +584,11 @@ pub fn run_on(
     heap: &DefragHeap,
     hook: &mut OpHook<'_>,
 ) -> RunResult {
+    // The single-threaded driver is its own sole mutator: registering lets
+    // first-touch relocation skip the stripe lock (host-side only — the
+    // simulated access sequence, and thus every pinned replay, is
+    // unchanged).
+    let _mutator = heap.register_mutator();
     let mut app_ctx = heap.ctx();
     let mut gc_ctx = heap.ctx();
     let mut keys = KeyGen::new(cfg.seed);

@@ -70,21 +70,41 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 /// Reader-writer lock supporting `read_recursive`, which parking_lot
 /// guarantees never deadlocks when the calling thread already holds a read
-/// guard (std's `RwLock` may, if a writer is queued). Built on
-/// Mutex+Condvar: `read` yields to queued writers (fairness), while
-/// `read_recursive` only waits for an *active* writer.
+/// guard (std's `RwLock` may, if a writer is queued). `read` yields to
+/// queued writers (fairness), while `read_recursive` only waits for an
+/// *active* writer.
+///
+/// The uncontended paths are a single CAS on one state word. An earlier
+/// version guarded a readers/writers struct with `Mutex`+`Condvar`; its
+/// guard *drop* then locked the mutex again and issued an unconditional
+/// `notify_all` (a futex syscall) — ~175 ns per acquisition on the
+/// simulator's per-bank engine locks, which sit on every simulated memory
+/// access and dominated host time. Waiters now park on the condvar only
+/// under contention, and releasers touch it only when `parked > 0`.
+///
+/// State word layout: bit 0 = writer active; bits 1..21 = waiting-writer
+/// count (new plain `read`s queue behind these); bits 21..64 = reader
+/// count.
 pub struct RwLock<T: ?Sized> {
-    state: sync::Mutex<RwState>,
-    cond: sync::Condvar,
+    state: sync::atomic::AtomicU64,
+    /// Threads registered in the slow path (readers or writers). Releasers
+    /// check this before touching the condvar, so uncontended drops stay
+    /// syscall-free. Registration happens while holding `park_lock`, and
+    /// both sides use `SeqCst`, so a releaser either sees the waiter's
+    /// registration or the waiter's state re-check sees the release.
+    parked: sync::atomic::AtomicU32,
+    park_lock: sync::Mutex<()>,
+    park_cond: sync::Condvar,
     data: std::cell::UnsafeCell<T>,
 }
 
-#[derive(Default)]
-struct RwState {
-    readers: usize,
-    writer_active: bool,
-    writers_waiting: usize,
-}
+const WRITER: u64 = 1;
+const WWAIT_ONE: u64 = 1 << 1;
+const WWAIT_MASK: u64 = ((1 << 20) - 1) << 1;
+const READER_ONE: u64 = 1 << 21;
+const READERS_MASK: u64 = !(WRITER | WWAIT_MASK);
+
+use sync::atomic::Ordering::{Relaxed, SeqCst};
 
 // Same bounds as std::sync::RwLock.
 unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
@@ -97,12 +117,10 @@ pub struct RwLockWriteGuard<'a, T: ?Sized>(&'a RwLock<T>);
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         RwLock {
-            state: sync::Mutex::new(RwState {
-                readers: 0,
-                writer_active: false,
-                writers_waiting: 0,
-            }),
-            cond: sync::Condvar::new(),
+            state: sync::atomic::AtomicU64::new(0),
+            parked: sync::atomic::AtomicU32::new(0),
+            park_lock: sync::Mutex::new(()),
+            park_cond: sync::Condvar::new(),
             data: std::cell::UnsafeCell::new(value),
         }
     }
@@ -113,62 +131,157 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    fn state(&self) -> sync::MutexGuard<'_, RwState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        let mut st = self.state();
-        while st.writer_active || st.writers_waiting > 0 {
-            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        let mut s = self.state.load(Relaxed);
+        loop {
+            if s & (WRITER | WWAIT_MASK) != 0 {
+                self.read_slow(false);
+                return RwLockReadGuard(self);
+            }
+            match self
+                .state
+                .compare_exchange_weak(s, s + READER_ONE, SeqCst, Relaxed)
+            {
+                Ok(_) => return RwLockReadGuard(self),
+                Err(e) => s = e,
+            }
         }
-        st.readers += 1;
-        RwLockReadGuard(self)
     }
 
     /// Like [`read`](Self::read) but does not queue behind waiting
     /// writers, so it may nest under an existing read guard on the same
     /// thread without deadlocking.
     pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
-        let mut st = self.state();
-        while st.writer_active {
-            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        let mut s = self.state.load(Relaxed);
+        loop {
+            if s & WRITER != 0 {
+                self.read_slow(true);
+                return RwLockReadGuard(self);
+            }
+            match self
+                .state
+                .compare_exchange_weak(s, s + READER_ONE, SeqCst, Relaxed)
+            {
+                Ok(_) => return RwLockReadGuard(self),
+                Err(e) => s = e,
+            }
         }
-        st.readers += 1;
-        RwLockReadGuard(self)
+    }
+
+    /// Parks until a reader slot can be taken. With `barge` only an active
+    /// writer blocks us (the `read_recursive` contract); otherwise waiting
+    /// writers do too.
+    fn read_slow(&self, barge: bool) {
+        let mut guard = self.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.parked.fetch_add(1, SeqCst);
+        loop {
+            let s = self.state.load(SeqCst);
+            let blocked = if barge {
+                s & WRITER != 0
+            } else {
+                s & (WRITER | WWAIT_MASK) != 0
+            };
+            if !blocked {
+                if self
+                    .state
+                    .compare_exchange(s, s + READER_ONE, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
+            }
+            guard = self
+                .park_cond
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        self.parked.fetch_sub(1, SeqCst);
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        let mut st = self.state();
-        if st.writer_active {
-            return None;
+        let mut s = self.state.load(Relaxed);
+        loop {
+            if s & WRITER != 0 {
+                return None;
+            }
+            match self
+                .state
+                .compare_exchange_weak(s, s + READER_ONE, SeqCst, Relaxed)
+            {
+                Ok(_) => return Some(RwLockReadGuard(self)),
+                Err(e) => s = e,
+            }
         }
-        st.readers += 1;
-        Some(RwLockReadGuard(self))
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        let mut st = self.state();
-        st.writers_waiting += 1;
-        while st.writer_active || st.readers > 0 {
-            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        let s = self.state.load(Relaxed);
+        if s & (WRITER | READERS_MASK) == 0
+            && self
+                .state
+                .compare_exchange(s, s | WRITER, SeqCst, Relaxed)
+                .is_ok()
+        {
+            return RwLockWriteGuard(self);
         }
-        st.writers_waiting -= 1;
-        st.writer_active = true;
+        self.write_slow();
         RwLockWriteGuard(self)
     }
 
-    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        let mut st = self.state();
-        if st.writer_active || st.readers > 0 {
-            return None;
+    fn write_slow(&self) {
+        // Register as a waiting writer first so new plain `read`s queue
+        // behind us, then park until the lock frees up.
+        self.state.fetch_add(WWAIT_ONE, SeqCst);
+        let mut guard = self.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.parked.fetch_add(1, SeqCst);
+        loop {
+            let s = self.state.load(SeqCst);
+            if s & (WRITER | READERS_MASK) == 0 {
+                if self
+                    .state
+                    .compare_exchange(s, (s - WWAIT_ONE) | WRITER, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
+            }
+            guard = self
+                .park_cond
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
         }
-        st.writer_active = true;
-        Some(RwLockWriteGuard(self))
+        self.parked.fetch_sub(1, SeqCst);
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let mut s = self.state.load(Relaxed);
+        loop {
+            if s & (WRITER | READERS_MASK) != 0 {
+                return None;
+            }
+            match self
+                .state
+                .compare_exchange_weak(s, s | WRITER, SeqCst, Relaxed)
+            {
+                Ok(_) => return Some(RwLockWriteGuard(self)),
+                Err(e) => s = e,
+            }
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         self.data.get_mut()
+    }
+
+    /// Wakes parked threads after a release. The `parked` check keeps the
+    /// condvar (and its syscalls) entirely off the uncontended path.
+    fn wake_parked(&self) {
+        if self.parked.load(SeqCst) > 0 {
+            let _g = self.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.park_cond.notify_all();
+        }
     }
 }
 
@@ -189,21 +302,18 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
-        let mut st = self.0.state();
-        st.readers -= 1;
-        if st.readers == 0 {
-            drop(st);
-            self.0.cond.notify_all();
+        let prev = self.0.state.fetch_sub(READER_ONE, SeqCst);
+        // Only the last reader leaving can unblock anyone (a writer).
+        if prev & READERS_MASK == READER_ONE {
+            self.0.wake_parked();
         }
     }
 }
 
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
-        let mut st = self.0.state();
-        st.writer_active = false;
-        drop(st);
-        self.0.cond.notify_all();
+        self.0.state.fetch_and(!WRITER, SeqCst);
+        self.0.wake_parked();
     }
 }
 
@@ -249,6 +359,65 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_concurrent_stress() {
+        use std::sync::Arc;
+        // Writers increment both halves of a pair under the write lock;
+        // readers must never observe a torn pair. Exercises the parking
+        // slow paths and the wake protocol from both guard drops.
+        let l = Arc::new(RwLock::new((0u64, 0u64)));
+        let writers: Vec<_> = (0..3)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let mut g = l.write();
+                        let pair: &mut (u64, u64) = &mut g;
+                        pair.0 += 1;
+                        pair.1 += 1;
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..3)
+            .map(|i| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for k in 0..2000u64 {
+                        let g = if (i + k) % 7 == 0 {
+                            l.read_recursive()
+                        } else {
+                            l.read()
+                        };
+                        let pair: &(u64, u64) = &g;
+                        assert_eq!(pair.0, pair.1, "torn read");
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*l.read(), (6000, 6000));
+    }
+
+    #[test]
+    fn rwlock_try_paths() {
+        let l = RwLock::new(5u32);
+        let r = l.read();
+        assert!(l.try_read().is_some(), "shared with reader");
+        assert!(l.try_write().is_none(), "writer blocked by reader");
+        drop(r);
+        let w = l.try_write().expect("free for writer");
+        assert!(l.try_read().is_none(), "reader blocked by writer");
+        assert!(l.try_write().is_none(), "second writer blocked");
+        drop(w);
+        assert_eq!(*l.read(), 5);
     }
 
     #[test]
