@@ -68,6 +68,9 @@ struct UnitStats {
 #[derive(Debug)]
 struct Armed {
     base: u64,
+    /// Filter capacity, kept so a per-shard re-arm can rebuild the merged
+    /// filter without the engine config in hand.
+    bloom_bytes: usize,
     /// The relocation-page filter. The paper builds up to 8 in-memory
     /// filters sharded by VA range; at our pool sizes one 1 KiB filter
     /// (exactly the BFC's capacity, Table 1) covers every relocation page,
@@ -110,6 +113,12 @@ pub struct CheckLookupUnit {
     pmft: Pmft,
     armed: RwLock<Option<Arc<Armed>>>,
     hot: Mutex<HotState>,
+    /// Per-GC-shard forwarding entries currently armed. The published
+    /// [`Armed`] programming is always the union of every shard's set —
+    /// there is one physical unit, programmed once per change, exactly as
+    /// one bloom filter covers all relocation pages in the paper. Guarded
+    /// by its own lock because shards arm/disarm concurrently.
+    cycle_sets: Mutex<Vec<Vec<PmftEntry>>>,
 }
 
 impl CheckLookupUnit {
@@ -125,6 +134,7 @@ impl CheckLookupUnit {
                 tlb_cap: 16,
                 stats: UnitStats::default(),
             }),
+            cycle_sets: Mutex::new(Vec::new()),
         }
     }
 
@@ -134,26 +144,79 @@ impl CheckLookupUnit {
     /// and a volatile moved mirror so clean lookups can resolve lock-free
     /// ([`LookupResult::AlreadyMoved`]).
     pub fn begin_cycle(&self, engine: &PmEngine, base: u64, entries: &[PmftEntry], fastpath: bool) {
+        self.begin_cycle_shard(engine, base, entries, fastpath, 0, 1);
+    }
+
+    /// Per-shard arming: programs shard `shard`'s forwarding entries into
+    /// the unit, merging them with every other shard's live set (the unit
+    /// is one physical device; the published programming is the union).
+    /// When no *other* shard is armed this is exactly [`CheckLookupUnit::
+    /// begin_cycle`] — fresh moved mirror, BFC refetch, stats reset —
+    /// otherwise the surviving shards' moved bits and hot state carry over
+    /// and only the arming shard's frames start from a clean mirror (a
+    /// recycled frame number must not inherit a prior cycle's bits).
+    pub fn begin_cycle_shard(
+        &self,
+        engine: &PmEngine,
+        base: u64,
+        entries: &[PmftEntry],
+        fastpath: bool,
+        shard: usize,
+        nshards: usize,
+    ) {
         let cfg = engine.config();
         let num_frames = self.pmft.meta().num_frames as usize;
+        let mut sets = self.cycle_sets.lock();
+        if sets.len() != nshards {
+            sets.resize(nshards, Vec::new());
+        }
+        let others_idle = sets
+            .iter()
+            .enumerate()
+            .all(|(i, s)| i == shard || s.is_empty());
+        sets[shard] = entries.to_vec();
         let mut filter = BloomFilter::new(cfg.bloom_filter_bytes);
         let mut entvec: Vec<Option<PmftEntry>> = vec![None; num_frames];
-        for e in entries {
+        for e in sets.iter().flatten() {
             filter.insert(self.vpn_of_frame(base, e.reloc_frame));
             entvec[e.reloc_frame as usize] = Some(e.clone());
         }
-        let moved = (0..num_frames * MOVED_WORDS_PER_FRAME)
-            .map(|_| AtomicU64::new(0))
-            .collect();
+        let moved: Vec<AtomicU64> = if others_idle {
+            (0..num_frames * MOVED_WORDS_PER_FRAME)
+                .map(|_| AtomicU64::new(0))
+                .collect()
+        } else {
+            // Carry the live shards' mirror, then wipe the arming shard's
+            // frames.
+            let prev = self.armed.read().clone();
+            let carried: Vec<AtomicU64> = (0..num_frames * MOVED_WORDS_PER_FRAME)
+                .map(|w| {
+                    AtomicU64::new(
+                        prev.as_ref()
+                            .map_or(0, |a| a.moved[w].load(Ordering::Acquire)),
+                    )
+                })
+                .collect();
+            for e in entries {
+                for w in 0..MOVED_WORDS_PER_FRAME {
+                    carried[e.reloc_frame as usize * MOVED_WORDS_PER_FRAME + w]
+                        .store(0, Ordering::Relaxed);
+                }
+            }
+            carried
+        };
         {
             let mut s = self.hot.lock();
-            s.loaded = false;
+            if others_idle {
+                s.loaded = false;
+                s.stats = UnitStats::default();
+            }
             s.tlb.clear();
             s.tlb_cap = cfg.pmftlb_entries.max(1);
-            s.stats = UnitStats::default();
         }
         *self.armed.write() = Some(Arc::new(Armed {
             base,
+            bloom_bytes: cfg.bloom_filter_bytes,
             filter,
             fastpath,
             entries: entvec,
@@ -164,10 +227,48 @@ impl CheckLookupUnit {
     /// Disarms the unit at cycle end: every lookup returns
     /// [`LookupResult::NotRelocation`] at zero charged cost.
     pub fn end_cycle(&self) {
-        *self.armed.write() = None;
-        let mut s = self.hot.lock();
-        s.tlb.clear();
-        s.loaded = false;
+        self.end_cycle_shard(0);
+    }
+
+    /// Per-shard disarming: removes shard `shard`'s entries from the
+    /// programming. The last shard out fully disarms the unit (exactly
+    /// [`CheckLookupUnit::end_cycle`]); otherwise the merged programming is
+    /// rebuilt from the surviving shards, carrying their moved bits, and
+    /// only the PMFTLB is shot down (its entries may name dead frames).
+    pub fn end_cycle_shard(&self, shard: usize) {
+        let mut sets = self.cycle_sets.lock();
+        if shard < sets.len() {
+            sets[shard].clear();
+        }
+        if sets.iter().all(|s| s.is_empty()) {
+            *self.armed.write() = None;
+            let mut s = self.hot.lock();
+            s.tlb.clear();
+            s.loaded = false;
+            return;
+        }
+        let Some(prev) = self.armed.read().clone() else {
+            return;
+        };
+        let num_frames = self.pmft.meta().num_frames as usize;
+        let mut filter = BloomFilter::new(prev.bloom_bytes);
+        let mut entvec: Vec<Option<PmftEntry>> = vec![None; num_frames];
+        for e in sets.iter().flatten() {
+            filter.insert(self.vpn_of_frame(prev.base, e.reloc_frame));
+            entvec[e.reloc_frame as usize] = Some(e.clone());
+        }
+        let moved: Vec<AtomicU64> = (0..num_frames * MOVED_WORDS_PER_FRAME)
+            .map(|w| AtomicU64::new(prev.moved[w].load(Ordering::Acquire)))
+            .collect();
+        *self.armed.write() = Some(Arc::new(Armed {
+            base: prev.base,
+            bloom_bytes: prev.bloom_bytes,
+            filter,
+            fastpath: prev.fastpath,
+            entries: entvec,
+            moved,
+        }));
+        self.hot.lock().tlb.clear();
     }
 
     /// Whether a cycle is armed.

@@ -71,9 +71,10 @@ fn engine_throughput(banks: usize, threads: usize, ops_per_thread: u64) -> (f64,
 
 /// End-to-end mt-driver throughput: free-running mutators over an 8-bank
 /// engine and the striped pool allocator — the whole no-turn-lock op path
-/// (barriers, allocation, GC pump), not just raw engine accesses. Returns
-/// (driver ops/sec, wall ms).
-fn driver_concurrent(threads: usize, mix: PhaseMix) -> (f64, f64) {
+/// (barriers, allocation, GC pump), not just raw engine accesses. `shards`
+/// selects the heap's GC-domain count (1 = the single-domain heap, >1 =
+/// concurrent per-shard cycles). Returns (driver ops/sec, wall ms).
+fn driver_concurrent(threads: usize, mix: PhaseMix, shards: usize) -> (f64, f64) {
     let mut cfg = DriverConfig::new(Scheme::FfccdCheckLookup);
     cfg.mix = mix;
     cfg.seed = 0x2bc7;
@@ -81,6 +82,7 @@ fn driver_concurrent(threads: usize, mix: PhaseMix) -> (f64, f64) {
     cfg.pool.machine.seed = 0x2bc7;
     cfg.pool.machine.banks = 8;
     cfg.defrag.min_live_bytes = 1 << 12;
+    cfg.defrag.shards = shards;
     let t0 = Instant::now();
     let r = run_mt(
         &|| Box::new(LinkedList::new()) as Box<dyn Workload>,
@@ -163,76 +165,114 @@ fn main() {
     };
 
     let mut records = Vec::new();
+    // Every record carries a `shards` column (heap GC-domain count; rows
+    // with no heap at all record 1) so the trajectory can tell the
+    // single-domain and sharded concurrent rows apart by schema.
+    let rec = |name: &str, threads: usize, ops_per_sec: f64, wall_ms: f64, shards: usize| {
+        let mut r = Record::new(name, threads, ops_per_sec, wall_ms);
+        r.extra.push(("shards", shards as f64));
+        r
+    };
     println!(
-        "{:<22} {:>8} {:>14} {:>12}",
-        "name", "threads", "ops/sec", "wall ms"
+        "{:<22} {:>8} {:>7} {:>14} {:>12}",
+        "name", "threads", "shards", "ops/sec", "wall ms"
     );
-    rule(60);
+    rule(68);
     for (name, banks) in [("engine_global", 1usize), ("engine_banked8", 8)] {
         for threads in [1usize, 4] {
             let (ops_per_sec, wall_ms) = engine_throughput(banks, threads, ops);
-            println!("{name:<22} {threads:>8} {ops_per_sec:>14.0} {wall_ms:>12.2}");
-            records.push(Record::new(name, threads, ops_per_sec, wall_ms));
+            println!(
+                "{name:<22} {threads:>8} {:>7} {ops_per_sec:>14.0} {wall_ms:>12.2}",
+                1
+            );
+            records.push(rec(name, threads, ops_per_sec, wall_ms, 1));
         }
     }
     // The concurrent-driver rows always run the full mix: at smoke scale
     // (250 ops) thread-spawn and heap-setup overhead swamps the per-op
     // cost and the 4T/1T ratio carries no signal for the scaling
-    // assertion below. The full mix is still only ~2000 ops (tens of ms).
+    // assertion below. The mix is ~8000 ops per run — the old ~2000-op
+    // window finished in ~25 ms and its ratios were noise-dominated.
     let mt_mix = PhaseMix {
-        init: 800,
-        phase_ops: 600,
+        init: 3200,
+        phase_ops: 2400,
         phases: 2,
     };
-    for threads in [1usize, 2, 4] {
-        let (ops_per_sec, wall_ms) = driver_concurrent(threads, mt_mix);
-        println!(
-            "{:<22} {threads:>8} {ops_per_sec:>14.0} {wall_ms:>12.2}",
-            "engine_concurrent"
-        );
-        records.push(Record::new(
-            "engine_concurrent",
-            threads,
-            ops_per_sec,
-            wall_ms,
-        ));
+    for shards in [1usize, 4] {
+        for threads in [1usize, 2, 4] {
+            let (ops_per_sec, wall_ms) = driver_concurrent(threads, mt_mix, shards);
+            println!(
+                "{:<22} {threads:>8} {shards:>7} {ops_per_sec:>14.0} {wall_ms:>12.2}",
+                "engine_concurrent"
+            );
+            records.push(rec(
+                "engine_concurrent",
+                threads,
+                ops_per_sec,
+                wall_ms,
+                shards,
+            ));
+        }
     }
     for (name, jobs) in [("sweep_seq", 1usize), ("sweep_jobs4", 4)] {
         let (sites_per_sec, wall_ms) = sweep_campaign(jobs, mix, budget);
-        println!("{name:<22} {jobs:>8} {sites_per_sec:>14.1} {wall_ms:>12.2}");
-        records.push(Record::new(name, jobs, sites_per_sec, wall_ms));
+        println!(
+            "{name:<22} {jobs:>8} {:>7} {sites_per_sec:>14.1} {wall_ms:>12.2}",
+            1
+        );
+        records.push(rec(name, jobs, sites_per_sec, wall_ms, 1));
     }
-    rule(60);
+    rule(68);
 
     // Name-based lookups: the old positional records[4]/records[5] ratio
     // silently read the wrong rows the moment a row family was added.
-    let get = |n: &str, t: usize| -> Option<&Record> {
-        records.iter().find(|r| r.name == n && r.threads == t)
+    let get = |n: &str, t: usize, sh: usize| -> Option<&Record> {
+        records.iter().find(|r| {
+            r.name == n
+                && r.threads == t
+                && r.extra
+                    .iter()
+                    .any(|&(k, v)| k == "shards" && v == sh as f64)
+        })
     };
-    let ops_of = |n: &str, t: usize| get(n, t).map(|r| r.ops_per_sec).unwrap_or(0.0);
-    let wall_of = |n: &str, t: usize| get(n, t).map(|r| r.wall_ms).unwrap_or(0.0);
+    let ops_of = |n: &str, t: usize, sh: usize| get(n, t, sh).map(|r| r.ops_per_sec).unwrap_or(0.0);
+    let wall_of = |n: &str, t: usize, sh: usize| get(n, t, sh).map(|r| r.wall_ms).unwrap_or(0.0);
     println!(
-        "4T banked/global throughput: {:.2}x   concurrent 4T/1T: {:.2}x   sweep seq/jobs4 wall: {:.2}x   (host cores: {cores})",
-        ops_of("engine_banked8", 4) / ops_of("engine_global", 4).max(1e-9),
-        ops_of("engine_concurrent", 4) / ops_of("engine_concurrent", 1).max(1e-9),
-        wall_of("sweep_seq", 1) / wall_of("sweep_jobs4", 4).max(1e-9),
+        "4T banked/global throughput: {:.2}x   concurrent 4T/1T: {:.2}x (1 shard) {:.2}x (4 shards)   sweep seq/jobs4 wall: {:.2}x   (host cores: {cores})",
+        ops_of("engine_banked8", 4, 1) / ops_of("engine_global", 4, 1).max(1e-9),
+        ops_of("engine_concurrent", 4, 1) / ops_of("engine_concurrent", 1, 1).max(1e-9),
+        ops_of("engine_concurrent", 4, 4) / ops_of("engine_concurrent", 1, 4).max(1e-9),
+        wall_of("sweep_seq", 1, 1) / wall_of("sweep_jobs4", 4, 1).max(1e-9),
     );
     if smoke {
         if cores > 1 {
-            let c1 = ops_of("engine_concurrent", 1);
-            let c4 = ops_of("engine_concurrent", 4);
+            let c1 = ops_of("engine_concurrent", 1, 4);
+            let c4 = ops_of("engine_concurrent", 4, 4);
             assert!(
                 c4 >= c1,
-                "mt driver does not scale: 4T {c4:.0} ops/s < 1T {c1:.0} ops/s on a {cores}-core host"
+                "mt driver does not scale: sharded 4T {c4:.0} ops/s < 1T {c1:.0} ops/s on a {cores}-core host"
             );
-            let seq = wall_of("sweep_seq", 1);
-            let par = wall_of("sweep_jobs4", 4);
+            let seq = wall_of("sweep_seq", 1, 1);
+            let par = wall_of("sweep_jobs4", 4, 1);
             assert!(
                 par <= seq,
                 "parallel sweep slower than sequential: jobs4 {par:.1} ms > seq {seq:.1} ms on a {cores}-core host"
             );
         } else {
             println!("single-core host: skipping thread-scaling assertions");
+        }
+        // The multicore scaling gate proper: with 4 real cores, 4 mutator
+        // threads over a 4-shard heap must at least double single-thread
+        // throughput (the per-shard cycles are the point of sharding).
+        if cores >= 4 {
+            let c1 = ops_of("engine_concurrent", 1, 4);
+            let c4 = ops_of("engine_concurrent", 4, 4);
+            assert!(
+                c4 >= 2.0 * c1,
+                "sharded heap under-scales: 4T {c4:.0} ops/s < 2x 1T {c1:.0} ops/s on a {cores}-core host"
+            );
+        } else {
+            println!("host has {cores} cores: skipping the 4T >= 2x 1T multicore gate");
         }
     }
 
@@ -242,7 +282,7 @@ fn main() {
     println!("wrote {out_path} @ {rev}");
 
     let emitted = std::fs::read_to_string(&out_path).expect("read back");
-    match validate_schema(&emitted, &[]) {
+    match validate_schema(&emitted, &["shards"]) {
         Ok(n) => println!("schema OK: {n} records"),
         Err(e) => {
             eprintln!("schema INVALID: {e}");

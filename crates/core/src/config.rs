@@ -104,6 +104,15 @@ pub struct DefragConfig {
     /// pinned fingerprint and cycle total is recorded with it off.
     #[serde(default)]
     pub reloc_fastpath: bool,
+    /// Number of independent heap shards / GC domains. Each shard owns a
+    /// disjoint set of OS pages with its own free-list and fragmentation
+    /// accounting, and runs its own concurrent mark/compact cycle (shard A
+    /// can be compacting while shard B is idle). `0` and `1` both mean a
+    /// single shard — byte-identical to the pre-sharding engine, which is
+    /// what every pinned fingerprint and cycle total is recorded against.
+    /// Clamped to [`ffccd_pmop::MAX_SHARDS`].
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl DefragConfig {
@@ -120,6 +129,7 @@ impl DefragConfig {
             cooldown_ops: 1024,
             reloc_stripes: 64,
             reloc_fastpath: false,
+            shards: 1,
         }
     }
 
@@ -130,6 +140,13 @@ impl DefragConfig {
             target_ratio: 1.5,
             ..Self::normal(scheme)
         }
+    }
+
+    /// The effective shard count: `shards` clamped to
+    /// `1..=`[`ffccd_pmop::MAX_SHARDS`] (0 reads as 1, matching old
+    /// serialized configs that predate the field).
+    pub fn num_shards(&self) -> usize {
+        self.shards.clamp(1, ffccd_pmop::MAX_SHARDS)
     }
 
     /// A baseline (never-triggering) configuration.

@@ -84,6 +84,23 @@ impl CycleMirror {
     }
 }
 
+/// One GC domain (heap shard): the per-cycle bookkeeping that used to be
+/// heap-global, instantiated once per shard so shard A can run a full
+/// mark/compact cycle while shard B stays idle and mutators on both keep
+/// running. Domain `s` only ever relocates frames owned by pool shard `s`
+/// and takes its destination frames from the same shard.
+pub(crate) struct Domain {
+    pub cycle: Mutex<Option<CycleState>>,
+    /// Snapshot handle to this domain's active cycle mirror (`None`
+    /// outside a cycle). Barrier paths clone the `Arc` and work lock-free
+    /// from there.
+    pub mirror: RwLock<Option<Arc<CycleMirror>>>,
+    pub in_cycle: AtomicBool,
+    /// `op_counter` value when this domain's last cycle started (per-shard
+    /// trigger hysteresis).
+    pub last_cycle_start: std::sync::atomic::AtomicU64,
+}
+
 pub(crate) struct HeapInner {
     pub pool: PmPool,
     pub cfg: DefragConfig,
@@ -94,11 +111,16 @@ pub(crate) struct HeapInner {
     /// Application operations hold this for read; stop-the-world phases
     /// (marking, summary, termination) hold it for write.
     pub world: RwLock<()>,
-    pub cycle: Mutex<Option<CycleState>>,
-    /// Snapshot handle to the active cycle's PMFT mirror (`None` outside a
-    /// cycle). Barrier paths clone the `Arc` and work lock-free from there.
-    pub mirror: RwLock<Option<Arc<CycleMirror>>>,
-    pub in_cycle: AtomicBool,
+    /// Per-shard GC domains (one at `shards=1`, reproducing the global
+    /// cycle exactly).
+    pub domains: Box<[Domain]>,
+    /// Domains with a cycle in flight. The barrier arms when this is
+    /// non-zero; incremented (Release) after a domain's mirror publishes,
+    /// decremented at its termination.
+    pub active_cycles: AtomicUsize,
+    /// Round-robin cursor so `step_compaction` pumps active domains
+    /// fairly (always domain 0 at `shards=1`).
+    pub pump_cursor: AtomicUsize,
     /// Striped relocation locks (the paper's §4.5 critical section is
     /// per-object, so first-touch relocation only needs per-object
     /// exclusivity). A stripe is picked from the object's moved-bitmap
@@ -125,8 +147,6 @@ pub(crate) struct HeapInner {
     pub stats_sink: Arc<dyn CounterSink>,
     /// Allocator operations observed (the §5 monitor's clock).
     pub op_counter: std::sync::atomic::AtomicU64,
-    /// `op_counter` value when the last cycle started (trigger hysteresis).
-    pub last_cycle_start: std::sync::atomic::AtomicU64,
 }
 
 /// What the recovery idempotence gate observed
@@ -235,7 +255,7 @@ impl DefragHeap {
         registry: TypeRegistry,
         cfg: DefragConfig,
     ) -> Result<Self, PoolError> {
-        let pool = PmPool::create(pool_cfg, registry)?;
+        let pool = PmPool::create_sharded(pool_cfg, registry, cfg.num_shards())?;
         Ok(Self::from_pool(pool, cfg))
     }
 
@@ -345,6 +365,17 @@ impl DefragHeap {
         let reloc_stripes: Box<[Mutex<()>]> = (0..cfg.reloc_stripes.max(1))
             .map(|_| Mutex::new(()))
             .collect();
+        // The pool's persisted shard count wins over the config: a heap
+        // reopened from media created at a different `shards` must honor
+        // the on-media frame ownership.
+        let domains: Box<[Domain]> = (0..pool.num_shards())
+            .map(|_| Domain {
+                cycle: Mutex::new(None),
+                mirror: RwLock::new(None),
+                in_cycle: AtomicBool::new(false),
+                last_cycle_start: std::sync::atomic::AtomicU64::new(0),
+            })
+            .collect();
         DefragHeap {
             inner: Arc::new(HeapInner {
                 pool,
@@ -354,16 +385,15 @@ impl DefragHeap {
                 rbb,
                 clu,
                 world: RwLock::new(()),
-                cycle: Mutex::new(None),
-                mirror: RwLock::new(None),
+                domains,
+                active_cycles: AtomicUsize::new(0),
+                pump_cursor: AtomicUsize::new(0),
                 mutator_gate: RwLock::new(()),
-                in_cycle: AtomicBool::new(false),
                 reloc_stripes,
                 mutators: AtomicUsize::new(0),
                 stats,
                 stats_sink,
                 op_counter: std::sync::atomic::AtomicU64::new(0),
-                last_cycle_start: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -395,9 +425,24 @@ impl DefragHeap {
         self.inner.cfg.scheme
     }
 
-    /// Whether a compaction cycle is in flight.
+    /// Whether any domain has a compaction cycle in flight.
     pub fn in_cycle(&self) -> bool {
-        self.inner.in_cycle.load(Ordering::Acquire)
+        self.inner.active_cycles.load(Ordering::Acquire) > 0
+    }
+
+    /// Number of heap shards / GC domains (1 unless created sharded).
+    pub fn num_shards(&self) -> usize {
+        self.inner.domains.len()
+    }
+
+    /// Diagnostic snapshot of domain `shard`'s armed cycle: the
+    /// `(relocation, destination)` frame sets, or `None` when that domain
+    /// is idle. Tests use it to audit the ownership contract — every
+    /// frame of both sets must live in pool shard `shard`.
+    pub fn domain_frames(&self, shard: usize) -> Option<(Vec<u64>, Vec<u64>)> {
+        let cs = self.inner.domains[shard].cycle.lock();
+        cs.as_ref()
+            .map(|cs| (cs.reloc_frames.clone(), cs.dest_frames.clone()))
     }
 
     /// Registers the calling thread as a mutator for the guard's lifetime.
@@ -451,9 +496,22 @@ impl DefragHeap {
         ctx.bump_counter(idx, n);
     }
 
-    /// Clones the active cycle's mirror handle (`None` outside a cycle).
-    pub(crate) fn mirror(&self) -> Option<Arc<CycleMirror>> {
-        self.inner.mirror.read().clone()
+    /// The GC domain owning `frame` (frames on one OS page share a shard).
+    pub(crate) fn domain_of_frame(&self, frame: u64) -> &Domain {
+        let s = self
+            .inner
+            .pool
+            .layout()
+            .shard_of_frame(frame, self.inner.domains.len());
+        &self.inner.domains[s]
+    }
+
+    /// Clones the mirror handle of the domain owning `frame` (`None` when
+    /// that shard has no cycle in flight). Relocation and destination
+    /// frames of one cycle always share a shard, so looking up by either
+    /// lands on the same mirror.
+    pub(crate) fn mirror_for(&self, frame: u64) -> Option<Arc<CycleMirror>> {
+        self.domain_of_frame(frame).mirror.read().clone()
     }
 
     /// The GC metadata layout (benches and validators).
@@ -562,7 +620,7 @@ impl DefragHeap {
     /// every store to a destination copy back to its source, so the two
     /// copies only differ when the relocation copy itself failed to persist
     /// — making the re-copy always safe.
-    fn sfccd_mirror(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
+    pub(crate) fn sfccd_mirror(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
         if self.inner.cfg.scheme != Scheme::Sfccd || !self.in_cycle() {
             return;
         }
@@ -570,7 +628,9 @@ impl DefragHeap {
         let Some(frame) = layout.frame_of(off) else {
             return;
         };
-        let Some(m) = self.mirror() else { return };
+        let Some(m) = self.mirror_for(frame) else {
+            return;
+        };
         for &rf in m.reloc_frames_into(frame) {
             let e = m.entry(rf).expect("indexed frames have entries");
             let off_in_frame = off - layout.frame_start(frame);
@@ -785,7 +845,7 @@ impl DefragHeap {
         // mirror entry is available (e.g. inside `finish_cycle`, which takes
         // the mirror down before draining the queue).
         if inner.cfg.reloc_fastpath {
-            if let Some(m) = self.mirror() {
+            if let Some(m) = self.mirror_for(frame) {
                 if let Some(e) = m.entry(frame) {
                     self.relocate_batch(ctx, &m, e, frame, slot, single);
                     return;
@@ -809,7 +869,7 @@ impl DefragHeap {
         // has moved, the frame stops counting toward the footprint — the
         // frame itself is recycled at termination. The count lives in the
         // mirror (atomic), so no cycle-mutex round trip on the hot path.
-        if let Some(m) = self.mirror() {
+        if let Some(m) = self.mirror_for(frame) {
             if m.note_moved(frame) {
                 inner.pool.evacuate_frame(frame);
             }

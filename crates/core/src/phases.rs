@@ -1,5 +1,14 @@
 //! Defragmentation phases: marking, sweep, summary, compaction, termination
 //! (paper §3.3.1 and §5).
+//!
+//! With a sharded heap every stop-the-world pass (mark, sweep, summary) is
+//! still global, but the summary runs once *per shard*, arming one
+//! independent cycle per GC domain: its own cycle header slot, its own
+//! [`CycleMirror`], its own relocation/destination frame sets. Compaction
+//! then pumps the domains concurrently and each domain terminates on its
+//! own, so shard A can still be relocating while shard B is already idle
+//! and mutators keep running throughout. At `shards = 1` every loop below
+//! collapses to the pre-sharding single-cycle behaviour byte-for-byte.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::Ordering;
@@ -41,22 +50,40 @@ impl DefragHeap {
         // Trigger hysteresis: let the application run between cycles, or a
         // falling live set re-relocates the same survivors continuously.
         let now = self.inner.op_counter.load(Ordering::Relaxed);
-        let last = self.inner.last_cycle_start.load(Ordering::Relaxed);
+        let last = self
+            .inner
+            .domains
+            .iter()
+            .map(|d| d.last_cycle_start.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
         if last != 0 && now.saturating_sub(last) < self.inner.cfg.cooldown_ops {
             return false;
         }
-        let st = self.pool().stats();
-        if st.live_bytes < self.inner.cfg.min_live_bytes
-            || st.frag_ratio < self.inner.cfg.trigger_ratio
-        {
+        let n = self.num_shards();
+        let triggered = if n == 1 {
+            let st = self.pool().stats();
+            st.live_bytes >= self.inner.cfg.min_live_bytes
+                && st.frag_ratio >= self.inner.cfg.trigger_ratio
+        } else {
+            // Per-shard accounting: any shard fragmented past the trigger
+            // (carrying its share of the min-live floor) starts a pass; the
+            // per-shard summary then only arms shards with work to do.
+            (0..n).any(|s| {
+                let st = self.pool().shard_stats(s);
+                st.live_bytes >= self.inner.cfg.min_live_bytes / n as u64
+                    && st.frag_ratio >= self.inner.cfg.trigger_ratio
+            })
+        };
+        if !triggered {
             return false;
         }
         self.defrag_now(ctx)
     }
 
     /// Unconditionally runs the stop-the-world phases (marking, sweep,
-    /// summary) and arms a compaction cycle. Returns `false` if there was
-    /// nothing worth compacting.
+    /// summary) and arms one compaction cycle per shard with anything worth
+    /// compacting. Returns `false` if no shard started a cycle.
     pub fn defrag_now(&self, ctx: &mut Ctx) -> bool {
         if self.in_cycle() || self.scheme() == crate::Scheme::Baseline {
             return false;
@@ -81,9 +108,15 @@ impl DefragHeap {
         self.sweep(ctx, &marked);
         stats.add_cycles(&stats.sweep_cycles, ctx.cycles() - t0);
 
-        // -- summary: rank pages, pick relocation set, build the PMFT --
+        // -- summary: rank pages, pick relocation sets, build the PMFTs --
         let t0 = ctx.cycles();
-        let started = self.summary(ctx, &marked);
+        // Empty committed pages are free wins (hoisted out of the per-shard
+        // pass; same op-stream position as the old single-shard summary).
+        self.inner.pool.decommit_empty_pages();
+        let mut started = false;
+        for s in 0..self.num_shards() {
+            started |= self.summary_shard(ctx, s);
+        }
         stats.add_cycles(&stats.summary_cycles, ctx.cycles() - t0);
         started
     }
@@ -113,21 +146,20 @@ impl DefragHeap {
         }
     }
 
-    /// The summary phase (§5): per-page fragmentation ranking, top-k
-    /// selection toward the target ratio, deterministic destination
-    /// assignment, PMFT persistence, hardware arming.
-    fn summary(&self, ctx: &mut Ctx, marked: &HashSet<u64>) -> bool {
-        let _ = marked; // objects surviving the sweep are exactly the marked ones
+    /// The summary phase (§5) for one shard: per-page fragmentation ranking
+    /// over the shard's own pages, top-k selection toward the target ratio,
+    /// deterministic destination assignment *within the shard*, PMFT
+    /// persistence, hardware arming. Caller holds the world write lock.
+    fn summary_shard(&self, ctx: &mut Ctx, shard: usize) -> bool {
         let inner = &*self.inner;
         let pool = &inner.pool;
         let layout = *pool.layout();
         let fpp = layout.frames_per_os_page();
+        let nshards = inner.domains.len();
 
-        // Empty committed pages are free wins.
-        pool.decommit_empty_pages();
-
-        // Candidate pages: committed, fully evacuable (only Free/Active
-        // frames), sorted most-fragmented (least live) first.
+        // Candidate pages: owned by this shard, committed, fully evacuable
+        // (only Free/Active frames), sorted most-fragmented (least live)
+        // first.
         struct Cand {
             page: u64,
             live: u64,
@@ -135,6 +167,9 @@ impl DefragHeap {
         }
         let mut cands: Vec<Cand> = Vec::new();
         for page in 0..layout.num_os_pages() {
+            if page % nshards as u64 != shard as u64 {
+                continue;
+            }
             if !pool.page_committed(page) {
                 continue;
             }
@@ -174,7 +209,10 @@ impl DefragHeap {
         }
         cands.sort_by_key(|c| c.live);
 
-        let pool_stats = pool.stats();
+        // Footprint projection against this shard's own accounting: the
+        // cycle frees this shard's pages and commits destinations on this
+        // shard, so its fragmentation ratio is the one the cycle moves.
+        let pool_stats = pool.shard_stats(shard);
         let footprint = pool_stats.footprint_bytes;
         let live_total = pool_stats.live_bytes.max(1);
         let mut selected: Vec<Cand> = Vec::new();
@@ -230,7 +268,7 @@ impl DefragHeap {
                     .map(|(_, next)| Self::SLOTS_PER_FRAME - next >= needed)
                     .unwrap_or(false);
                 if !dest_ok {
-                    match pool.take_destination_frame_avoiding(ctx, &avoid) {
+                    match pool.take_destination_frame_avoiding_in(ctx, shard, &avoid) {
                         Ok(d) => {
                             // Fresh reached word for the new destination.
                             engine.write_u64(ctx, inner.meta.reached_word(d), 0);
@@ -238,7 +276,7 @@ impl DefragHeap {
                             dest_frames.push(d);
                             cur_dest = Some((d, 0));
                         }
-                        Err(_) => break 'pages, // heap exhausted: compact what we have
+                        Err(_) => break 'pages, // shard exhausted: compact what we have
                     }
                 }
                 let (dframe, mut next_slot) = cur_dest.expect("destination frame just ensured");
@@ -288,37 +326,52 @@ impl DefragHeap {
             return false;
         }
 
-        // Commit point: the persisted cycle header makes the cycle real.
-        engine.write_u64(ctx, inner.meta.cycle_header, 1);
-        engine.write_u64(
-            ctx,
-            inner.meta.cycle_header + 8,
-            scheme_code(inner.cfg.scheme),
-        );
-        engine.persist(ctx, inner.meta.cycle_header, 16);
+        // Commit point: the persisted per-shard cycle header slot makes the
+        // cycle real. Shard 0's slot is the pre-sharding header address.
+        let hdr = inner.meta.cycle_header + 16 * shard as u64;
+        engine.write_u64(ctx, hdr, 1);
+        engine.write_u64(ctx, hdr + 8, scheme_code(inner.cfg.scheme));
+        engine.persist(ctx, hdr, 16);
 
-        // Arm the hardware.
+        // Arm the hardware. The first cycle to arm installs the observer
+        // and starts from an empty RBB; later shards arming while others
+        // are live only drop their own destination frames' stale entries —
+        // a full invalidate would discard the live shards' buffered bits.
         if let Some(rbb) = &inner.rbb {
-            rbb.invalidate();
-            engine.set_observer(rbb.clone());
+            if inner.active_cycles.load(Ordering::Acquire) == 0 {
+                rbb.invalidate();
+                engine.set_observer(rbb.clone());
+            } else {
+                rbb.invalidate_frames(&dest_frames);
+            }
         }
         if let Some(clu) = &inner.clu {
             let entries: Vec<PmftEntry> = mirror_items.iter().map(|(_, e, _)| e.clone()).collect();
-            clu.begin_cycle(engine, pool.base(), &entries, inner.cfg.reloc_fastpath);
+            clu.begin_cycle_shard(
+                engine,
+                pool.base(),
+                &entries,
+                inner.cfg.reloc_fastpath,
+                shard,
+                nshards,
+            );
         }
-        // Mirror first, then cycle state, then the in_cycle gate barrier
-        // paths key on — so any thread seeing the cycle sees the mirror.
-        *inner.mirror.write() = Some(Arc::new(CycleMirror::new(
+        // Mirror first, then cycle state, then the domain flag, then the
+        // global active count barrier paths key on — so any thread seeing
+        // the cycle sees the mirror.
+        let domain = &inner.domains[shard];
+        *domain.mirror.write() = Some(Arc::new(CycleMirror::new(
             layout.num_frames as usize,
             mirror_items,
         )));
-        *inner.cycle.lock() = Some(CycleState {
+        *domain.cycle.lock() = Some(CycleState {
             reloc_frames,
             dest_frames,
             pending,
         });
-        inner.in_cycle.store(true, Ordering::Release);
-        inner.last_cycle_start.store(
+        domain.in_cycle.store(true, Ordering::Release);
+        inner.active_cycles.fetch_add(1, Ordering::Release);
+        domain.last_cycle_start.store(
             inner.op_counter.load(Ordering::Relaxed).max(1),
             Ordering::Relaxed,
         );
@@ -327,24 +380,41 @@ impl DefragHeap {
     }
 
     /// Relocates up to `budget` pending objects (the concurrent compaction
-    /// driver's unit of work). Returns `true` while the cycle stays active;
-    /// when the queue drains it terminates the cycle and returns `false`.
+    /// driver's unit of work) from one active domain, chosen round-robin so
+    /// concurrent callers spread across shards. Returns `true` while any
+    /// cycle stays active; a domain whose queue drains terminates.
     pub fn step_compaction(&self, ctx: &mut Ctx, budget: usize) -> bool {
         if !self.in_cycle() {
             return false;
         }
+        let n = self.inner.domains.len();
+        let start = self.inner.pump_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let Some(shard) = (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&s| self.inner.domains[s].in_cycle.load(Ordering::Acquire))
+        else {
+            return false;
+        };
+        self.step_domain(ctx, shard, budget);
+        self.in_cycle()
+    }
+
+    /// One pump of domain `shard`: pops up to `budget` work items, then
+    /// terminates the domain's cycle if its queue drained.
+    fn step_domain(&self, ctx: &mut Ctx, shard: usize, budget: usize) {
+        let domain = &self.inner.domains[shard];
         {
             let _g = self.inner.world.read();
             // Entry lookups come from the lock-free mirror snapshot; the
             // cycle mutex is held only to pop the work item.
-            let Some(mirror) = self.mirror() else {
-                return false;
+            let Some(mirror) = domain.mirror.read().clone() else {
+                return;
             };
             for _ in 0..budget {
                 let item = {
-                    let mut guard = self.inner.cycle.lock();
+                    let mut guard = domain.cycle.lock();
                     let Some(cs) = guard.as_mut() else {
-                        return false;
+                        return;
                     };
                     match cs.pending.pop_front() {
                         Some(it) => it,
@@ -357,36 +427,42 @@ impl DefragHeap {
                 self.ensure_relocated(ctx, frame, slot, e.dest_frame, dslot);
             }
         }
-        let remaining = self
-            .inner
+        let remaining = domain
             .cycle
             .lock()
             .as_ref()
             .map(|c| c.pending.len())
             .unwrap_or(0);
         if remaining == 0 {
-            self.finish_cycle(ctx);
-            return false;
+            self.finish_domain(ctx, shard);
         }
-        true
     }
 
-    /// `terminate()` (§5): finishes all pending relocation and reference
-    /// updates, persists everything, releases the relocation frames and
-    /// tears the cycle down. Stop-the-world, but runs once per cycle.
+    /// `terminate()` (§5) over every domain: finishes all pending
+    /// relocation and reference updates, persists everything, releases the
+    /// relocation frames and tears each active cycle down.
     pub fn finish_cycle(&self, ctx: &mut Ctx) {
-        if !self.in_cycle() {
+        for s in 0..self.inner.domains.len() {
+            self.finish_domain(ctx, s);
+        }
+    }
+
+    /// Terminates domain `shard`'s cycle. Stop-the-world, but runs once per
+    /// cycle; other domains' cycles stay armed throughout.
+    fn finish_domain(&self, ctx: &mut Ctx, shard: usize) {
+        let inner = &*self.inner;
+        let domain = &inner.domains[shard];
+        if !domain.in_cycle.load(Ordering::Acquire) {
             return;
         }
-        let inner = &*self.inner;
         let _w = inner.world.write();
-        let Some(cs) = inner.cycle.lock().take() else {
+        let Some(cs) = domain.cycle.lock().take() else {
             return;
         };
         // Take the mirror down with the cycle state: relocations below run
         // with progressive release already over (the frames are torn down
         // wholesale in step 4), matching the pre-mirror behaviour.
-        let mirror = inner
+        let mirror = domain
             .mirror
             .write()
             .take()
@@ -394,6 +470,7 @@ impl DefragHeap {
         let engine = self.engine();
         engine.note_phase_site(phase_sites::TERMINATE_BEGIN);
         let layout = *inner.pool.layout();
+        let hdr = inner.meta.cycle_header + 16 * shard as u64;
 
         // 1. finish pending relocations.
         for &(frame, slot) in cs.pending.iter() {
@@ -412,16 +489,28 @@ impl DefragHeap {
             engine.persist(ctx, inner.meta.moved_bitmap(f), 32);
         }
 
-        // 3. reference fixup rescan: no reference may keep pointing into a
-        //    relocation frame, and every barrier-updated reference must be
-        //    durable before the PMFT disappears.
+        // 3. reference fixup rescan: no reference may keep pointing into
+        //    this domain's relocation frames, and every barrier-updated
+        //    reference must be durable before the PMFT entries disappear.
+        //    Traversal must follow *other* live domains' already-moved
+        //    objects to their destination copies — post-move stores land
+        //    only there, so walking the stale source could miss references
+        //    into our relocation frames.
         let t0 = ctx.cycles();
         let reloc_set: HashSet<u64> = cs.reloc_frames.iter().copied().collect();
         let dest_set: HashSet<u64> = cs.dest_frames.iter().copied().collect();
+        let others: Vec<Arc<CycleMirror>> = inner
+            .domains
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| i != shard && d.in_cycle.load(Ordering::Acquire))
+            .filter_map(|(_, d)| d.mirror.read().clone())
+            .collect();
         {
             let engine2 = engine.clone();
             let entries = &mirror;
             let me = self.clone();
+            let meta = inner.meta;
             walk_refs(
                 ctx,
                 engine,
@@ -431,20 +520,39 @@ impl DefragHeap {
                     if target.is_null() {
                         return None;
                     }
-                    let hdr = target.offset() - OBJ_HEADER_BYTES;
-                    let frame = layout.frame_of(hdr)?;
+                    let hdr_off = target.offset() - OBJ_HEADER_BYTES;
+                    let frame = layout.frame_of(hdr_off)?;
+                    let slot = ((hdr_off - layout.frame_start(frame)) / SLOT_BYTES) as usize;
                     if reloc_set.contains(&frame) {
-                        let slot = ((hdr - layout.frame_start(frame)) / SLOT_BYTES) as usize;
                         let e = entries.entry(frame)?;
                         let d = e.lookup(slot)?;
                         let new = me.dest_ptr(e, d);
                         engine2.write_u64(ctx, slot_off, new.raw());
                         engine2.clwb(ctx, slot_off);
+                        // The slot may live in another live domain's
+                        // destination copy: keep the SFCCD source mirror in
+                        // step or its recovery re-copy would roll this
+                        // rewrite back. No-op outside SFCCD cycles, and at
+                        // one shard our own mirror is already down.
+                        me.sfccd_mirror(ctx, slot_off, &new.raw().to_le_bytes());
                         Some(new)
                     } else if dest_set.contains(&frame) {
                         engine2.clwb(ctx, slot_off);
                         None
                     } else {
+                        // Redirect traversal (without storing) through other
+                        // domains' moved objects: their destination copy is
+                        // the authoritative one. The world write lock keeps
+                        // every moved bit frozen during this walk.
+                        for m in &others {
+                            let Some(e) = m.entry(frame) else { continue };
+                            let Some(d) = e.lookup(slot) else { continue };
+                            let byte_off = meta.moved_bitmap(frame) + slot as u64 / 8;
+                            let moved = engine2.peek_vec(byte_off, 1)[0] >> (slot % 8) & 1 == 1;
+                            if moved {
+                                return Some(me.dest_ptr(e, d));
+                            }
+                        }
                         None
                     }
                 },
@@ -461,8 +569,8 @@ impl DefragHeap {
         //     only *complete* the teardown — frames released below lose
         //     their PMFT entries, and a state-1-style re-copy would
         //     resurrect pre-fixup references into freed frames.
-        engine.write_u64(ctx, inner.meta.cycle_header, 2);
-        engine.persist(ctx, inner.meta.cycle_header, 8);
+        engine.write_u64(ctx, hdr, 2);
+        engine.persist(ctx, hdr, 8);
 
         // 4. per-frame teardown: frag bit, the frame itself, then the PMFT
         //    entry — the entry goes last so state-2 recovery can finish any
@@ -484,21 +592,27 @@ impl DefragHeap {
             engine.persist(ctx, inner.meta.reached_word(d), 8);
         }
 
-        // 6. cycle header back to idle.
-        engine.write_u64(ctx, inner.meta.cycle_header, 0);
-        engine.persist(ctx, inner.meta.cycle_header, 8);
+        // 6. cycle header slot back to idle.
+        engine.write_u64(ctx, hdr, 0);
+        engine.persist(ctx, hdr, 8);
 
-        // 7. disarm hardware.
-        if inner.rbb.is_some() {
-            engine.clear_observer();
-        }
+        // 7. disarm hardware. Only the last live cycle takes the observer
+        //    down; earlier finishers drop just their own destination
+        //    frames' buffered bits (the other shards still need theirs).
+        let last = inner.active_cycles.load(Ordering::Acquire) == 1;
         if let Some(rbb) = &inner.rbb {
-            rbb.invalidate();
+            if last {
+                engine.clear_observer();
+                rbb.invalidate();
+            } else {
+                rbb.invalidate_frames(&cs.dest_frames);
+            }
         }
         if let Some(clu) = &inner.clu {
-            clu.end_cycle();
+            clu.end_cycle_shard(shard);
         }
-        inner.in_cycle.store(false, Ordering::Release);
+        domain.in_cycle.store(false, Ordering::Release);
+        inner.active_cycles.fetch_sub(1, Ordering::Release);
         inner.stats.add_cycles(&inner.stats.cycles_completed, 1);
         // Terminating is a natural synchronization point: make this
         // context's batched barrier counters visible in the shared stats.

@@ -10,8 +10,8 @@ use ffccd_pmem::{Ctx, MachineConfig, PmEngine};
 use crate::error::PoolError;
 use crate::frame::{FrameKind, FrameState, SLOTS_PER_FRAME};
 use crate::layout::{
-    PoolLayout, FRAME_BYTES, HDR_MAGIC, HDR_NUM_FRAMES, HDR_OS_PAGE, HDR_ROOT, OBJ_HEADER_BYTES,
-    POOL_MAGIC, SLOT_BYTES,
+    PoolLayout, FRAME_BYTES, HDR_MAGIC, HDR_NUM_FRAMES, HDR_OS_PAGE, HDR_ROOT, HDR_SHARDS,
+    MAX_SHARDS, OBJ_HEADER_BYTES, POOL_MAGIC, SLOT_BYTES,
 };
 use crate::ptr::PmPtr;
 use crate::types::{TypeId, TypeRegistry};
@@ -125,7 +125,20 @@ pub struct PmPool {
     engine: PmEngine,
     layout: PoolLayout,
     registry: TypeRegistry,
-    inner: Mutex<AllocInner>,
+    /// Per-shard allocator state. Shard `s` owns every frame whose OS page
+    /// index is ≡ `s (mod nshards)`; a shard's lists, active map and page
+    /// accounting reference **only** its own frames, so allocation on one
+    /// shard never contends with allocation — or a GC cycle — on another.
+    /// Each shard keeps full-length `frames`/`os_pages` vectors for simple
+    /// indexing; only owner entries are ever read or written. One shard
+    /// reproduces the pre-sharding single-lock allocator exactly.
+    shards: Box<[Mutex<AllocInner>]>,
+    nshards: usize,
+    /// Serializes cross-shard frame hand-off (work stealing) when a shard's
+    /// free frames are exhausted. Taken only with no shard lock held; the
+    /// donor's own lock then covers the transfer, so the stolen frame never
+    /// leaves its owner's bookkeeping.
+    steal_lock: Mutex<()>,
     /// Striped per-frame commit locks (`frame % RECORD_STRIPES`). A
     /// thread persisting a frame's bitmap record holds the frame's stripe
     /// from *before* it reserves slots until *after* the record write, so
@@ -168,11 +181,28 @@ impl PmPool {
     ///
     /// Returns [`PoolError::BadPool`] if the configuration is degenerate.
     pub fn create(cfg: PoolConfig, registry: TypeRegistry) -> Result<Self, PoolError> {
+        Self::create_sharded(cfg, registry, 1)
+    }
+
+    /// [`PmPool::create`] with `shards` independent allocator shards (GC
+    /// domains). The shard count is clamped to `1..=`[`MAX_SHARDS`] and
+    /// recorded in the pool header — but only when it exceeds one, so
+    /// single-shard media stays byte-identical with pre-sharding pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::BadPool`] if the configuration is degenerate.
+    pub fn create_sharded(
+        cfg: PoolConfig,
+        registry: TypeRegistry,
+        shards: usize,
+    ) -> Result<Self, PoolError> {
         if cfg.data_bytes == 0 {
             return Err(PoolError::BadPool {
                 reason: "data_bytes must be positive",
             });
         }
+        let shards = shards.clamp(1, MAX_SHARDS);
         let layout = PoolLayout::compute(cfg.data_bytes, cfg.os_page_size);
         let machine = MachineConfig {
             tlb_page_size: cfg.os_page_size,
@@ -184,8 +214,11 @@ impl PmPool {
             m.write_u64(HDR_OS_PAGE, layout.os_page_size);
             m.write_u64(HDR_NUM_FRAMES, layout.num_frames);
             m.write_u64(HDR_ROOT, PmPtr::NULL.raw());
+            if shards > 1 {
+                m.write_u64(HDR_SHARDS, shards as u64);
+            }
         });
-        Ok(Self::with_engine(engine, layout, registry))
+        Ok(Self::with_engine(engine, layout, registry, shards))
     }
 
     /// Opens a pool over existing media (after a crash and recovery).
@@ -198,11 +231,12 @@ impl PmPool {
     ///
     /// Returns [`PoolError::BadPool`] on a bad magic value or geometry.
     pub fn open(engine: PmEngine, registry: TypeRegistry) -> Result<Self, PoolError> {
-        let (magic, os_page, num_frames) = engine.with_media(|m| {
+        let (magic, os_page, num_frames, shards) = engine.with_media(|m| {
             (
                 m.read_u64(HDR_MAGIC),
                 m.read_u64(HDR_OS_PAGE),
                 m.read_u64(HDR_NUM_FRAMES),
+                m.read_u64(HDR_SHARDS),
             )
         });
         if magic != POOL_MAGIC {
@@ -216,34 +250,52 @@ impl PmPool {
                 reason: "geometry mismatch with media size",
             });
         }
-        let pool = Self::with_engine(engine, layout, registry);
+        // Zero (pre-sharding media) means one shard.
+        let shards = (shards as usize).clamp(1, MAX_SHARDS);
+        let pool = Self::with_engine(engine, layout, registry, shards);
         pool.rebuild_from_media();
         Ok(pool)
     }
 
-    fn with_engine(engine: PmEngine, layout: PoolLayout, registry: TypeRegistry) -> Self {
+    fn with_engine(
+        engine: PmEngine,
+        layout: PoolLayout,
+        registry: TypeRegistry,
+        nshards: usize,
+    ) -> Self {
         let num_frames = layout.num_frames as usize;
-        let inner = AllocInner {
-            frames: (0..num_frames).map(|_| FrameState::default()).collect(),
-            os_pages: (0..layout.num_os_pages())
-                .map(|_| OsPage {
-                    committed: false,
-                    used_frames: 0,
+        let shards: Box<[Mutex<AllocInner>]> = (0..nshards)
+            .map(|s| {
+                Mutex::new(AllocInner {
+                    frames: (0..num_frames).map(|_| FrameState::default()).collect(),
+                    os_pages: (0..layout.num_os_pages())
+                        .map(|_| OsPage {
+                            committed: false,
+                            used_frames: 0,
+                        })
+                        .collect(),
+                    partial: std::collections::HashMap::new(),
+                    // Owned frames only, popped in ascending order (the
+                    // single-shard list reproduces the pre-sharding order).
+                    free_frames: (0..num_frames as u32)
+                        .filter(|&f| layout.shard_of_frame(f as u64, nshards) == s)
+                        .rev()
+                        .collect(),
+                    active: std::collections::HashMap::new(),
+                    committed_pages: 0,
+                    live_bytes: 0,
                 })
-                .collect(),
-            partial: std::collections::HashMap::new(),
-            free_frames: (0..num_frames as u32).rev().collect(),
-            active: std::collections::HashMap::new(),
-            committed_pages: 0,
-            live_bytes: 0,
-        };
+            })
+            .collect();
         // Relocatable base: different per open, derived from the seed.
         let base = 0x5000_0000_0000u64 ^ (engine.config().seed.rotate_left(17) & 0xFFFF_F000);
         PmPool {
             engine,
             layout,
             registry,
-            inner: Mutex::new(inner),
+            shards,
+            nshards,
+            steal_lock: Mutex::new(()),
             record_stripes: (0..RECORD_STRIPES).map(|_| Mutex::new(())).collect(),
             base: AtomicU64::new(base),
             pool_id: 1,
@@ -254,17 +306,40 @@ impl PmPool {
         &self.record_stripes[frame as usize % RECORD_STRIPES]
     }
 
+    /// The allocator shard owning `frame`.
+    fn shard_of_frame(&self, frame: u64) -> usize {
+        self.layout.shard_of_frame(frame, self.nshards)
+    }
+
+    /// The allocator shard owning OS page `page` (frames on a page always
+    /// share their page's shard).
+    fn shard_of_page(&self, page: u64) -> usize {
+        (page % self.nshards as u64) as usize
+    }
+
+    fn inner_of_frame(&self, frame: u64) -> &Mutex<AllocInner> {
+        &self.shards[self.shard_of_frame(frame)]
+    }
+
+    /// Locks every shard in ascending index order (the multi-shard lock
+    /// order; used by huge allocation and rebuild).
+    fn lock_all(&self) -> Vec<parking_lot::MutexGuard<'_, AllocInner>> {
+        self.shards.iter().map(|m| m.lock()).collect()
+    }
+
     /// Rebuilds volatile allocator state from persistent bitmap records.
     fn rebuild_from_media(&self) {
-        let mut inner = self.inner.lock();
-        inner.partial.clear();
-        inner.free_frames.clear();
-        inner.active.clear();
-        inner.live_bytes = 0;
-        inner.committed_pages = 0;
-        for p in inner.os_pages.iter_mut() {
-            p.committed = false;
-            p.used_frames = 0;
+        let mut guards = self.lock_all();
+        for inner in guards.iter_mut() {
+            inner.partial.clear();
+            inner.free_frames.clear();
+            inner.active.clear();
+            inner.live_bytes = 0;
+            inner.committed_pages = 0;
+            for p in inner.os_pages.iter_mut() {
+                p.committed = false;
+                p.used_frames = 0;
+            }
         }
         let states: Vec<FrameState> = self.engine.with_media(|m| {
             (0..self.layout.num_frames)
@@ -315,12 +390,16 @@ impl PmPool {
             huge_tail = spill_frames;
             rebuilt.push(st);
         }
-        inner.frames = rebuilt;
-        // Pass 2: rebuild lists and page accounting.
-        for idx in 0..inner.frames.len() {
-            let kind = inner.frames[idx].kind;
-            let live = inner.frames[idx].live_bytes as u64;
-            let free = inner.frames[idx].free_slots;
+        // Pass 2: distribute to owner shards and rebuild lists and page
+        // accounting, each frame in its owner's books only.
+        for (idx, st) in rebuilt.into_iter().enumerate() {
+            let owner = self.shard_of_frame(idx as u64);
+            let inner = &mut guards[owner];
+            let kind = st.kind;
+            let live = st.live_bytes as u64;
+            let free = st.free_slots;
+            let class = st.class;
+            inner.frames[idx] = st;
             match kind {
                 FrameKind::Free => inner.free_frames.push(idx as u32),
                 FrameKind::Active | FrameKind::Huge => {
@@ -332,7 +411,7 @@ impl PmPool {
                     }
                     inner.os_pages[page].used_frames += 1;
                     if kind == FrameKind::Active && free > 0 {
-                        if let Some(c) = inner.frames[idx].class {
+                        if let Some(c) = class {
                             inner.partial.entry(c).or_default().push(idx as u32);
                         }
                     }
@@ -342,7 +421,9 @@ impl PmPool {
                 }
             }
         }
-        inner.free_frames.reverse();
+        for inner in guards.iter_mut() {
+            inner.free_frames.reverse();
+        }
     }
 
     // ---- accessors ----------------------------------------------------------
@@ -370,6 +451,11 @@ impl PmPool {
     /// This pool's id (used in persistent pointers).
     pub fn pool_id(&self) -> u16 {
         self.pool_id
+    }
+
+    /// Number of allocator shards (GC domains).
+    pub fn num_shards(&self) -> usize {
+        self.nshards
     }
 
     /// Current virtual base address of the mapping.
@@ -461,46 +547,101 @@ impl PmPool {
 
     fn pick_slot(&self, arena: u32, n: usize, payload: u64) -> Result<(u32, usize), PoolError> {
         let cls = class_of(n);
-        let mut inner = self.inner.lock();
-        // 1. bump in this arena's active frame for the class
-        if let Some(&a) = inner.active.get(&(arena, cls)) {
-            if let Some(slot) = inner.frames[a as usize].find_free_run(n) {
-                return Ok((a, slot));
+        let home = arena as usize % self.nshards;
+        {
+            let mut inner = self.shards[home].lock();
+            // 1. bump in this arena's active frame for the class
+            if let Some(&a) = inner.active.get(&(arena, cls)) {
+                if let Some(slot) = inner.frames[a as usize].find_free_run(n) {
+                    return Ok((a, slot));
+                }
+                // Active frame exhausted for this size; demote it.
+                if inner.frames[a as usize].free_slots > 0 {
+                    inner.partial.entry(cls).or_default().push(a);
+                }
+                inner.active.remove(&(arena, cls));
             }
-            // Active frame exhausted for this size; demote it.
-            if inner.frames[a as usize].free_slots > 0 {
-                inner.partial.entry(cls).or_default().push(a);
-            }
-            inner.active.remove(&(arena, cls));
-        }
-        // 2. bounded first-fit over this class's partial frames
-        let mut found: Option<(usize, usize)> = None;
-        if let Some(list) = inner.partial.get(&cls) {
-            for (i, &f) in list.iter().enumerate().rev().take(PARTIAL_SCAN_LIMIT) {
-                if inner.frames[f as usize].free_slots as usize >= n {
-                    if let Some(slot) = inner.frames[f as usize].find_free_run(n) {
-                        found = Some((i, slot));
-                        break;
+            // 2. bounded first-fit over this class's partial frames
+            let mut found: Option<(usize, usize)> = None;
+            if let Some(list) = inner.partial.get(&cls) {
+                for (i, &f) in list.iter().enumerate().rev().take(PARTIAL_SCAN_LIMIT) {
+                    if inner.frames[f as usize].free_slots as usize >= n {
+                        if let Some(slot) = inner.frames[f as usize].find_free_run(n) {
+                            found = Some((i, slot));
+                            break;
+                        }
                     }
                 }
             }
+            if let Some((i, slot)) = found {
+                let f = inner
+                    .partial
+                    .get_mut(&cls)
+                    .expect("list exists")
+                    .swap_remove(i);
+                inner.active.insert((arena, cls), f);
+                return Ok((f, slot));
+            }
+            // 3. fresh frame, claimed for this class
+            if let Some(f) = Self::pop_free_frame(&mut inner, &self.layout) {
+                inner.frames[f as usize].class = Some(cls);
+                inner.active.insert((arena, cls), f);
+                return Ok((f, 0));
+            }
         }
-        if let Some((i, slot)) = found {
-            let f = inner
-                .partial
-                .get_mut(&cls)
-                .expect("list exists")
-                .swap_remove(i);
-            inner.active.insert((arena, cls), f);
-            return Ok((f, slot));
+        if self.nshards > 1 {
+            return self.steal_slot(home, cls, n, payload);
         }
-        // 3. fresh frame, claimed for this class
-        let f = Self::pop_free_frame(&mut inner, &self.layout).ok_or(PoolError::OutOfMemory {
+        Err(PoolError::OutOfMemory {
             requested: payload + OBJ_HEADER_BYTES,
-        })?;
-        inner.frames[f as usize].class = Some(cls);
-        inner.active.insert((arena, cls), f);
-        Ok((f, 0))
+        })
+    }
+
+    /// Cross-shard frame hand-off: the home shard is out of free frames, so
+    /// borrow capacity from a donor. Rare path, serialized by `steal_lock`
+    /// (taken with no shard lock held; lock order steal → one donor shard).
+    /// Stolen frames stay in the **donor's** bookkeeping — they go on the
+    /// donor's partial list, never into the thief's active map — so every
+    /// shard's lists keep referencing only frames it owns, and the owner's
+    /// `pfree` list maintenance stays complete.
+    fn steal_slot(
+        &self,
+        home: usize,
+        cls: u8,
+        n: usize,
+        payload: u64,
+    ) -> Result<(u32, usize), PoolError> {
+        let _steal = self.steal_lock.lock();
+        // Home first (frames may have been freed since we dropped its
+        // lock), then donors in ascending order.
+        for s in std::iter::once(home).chain((0..self.nshards).filter(|&s| s != home)) {
+            let mut inner = self.shards[s].lock();
+            // Reuse an earlier steal's leftover capacity before popping a
+            // fresh donor frame (the frame stays listed in the donor's
+            // partial; commit_alloc verifies the run under the stripe).
+            if let Some(list) = inner.partial.get(&cls) {
+                let mut found = None;
+                for &f in list.iter().rev().take(PARTIAL_SCAN_LIMIT) {
+                    if inner.frames[f as usize].free_slots as usize >= n {
+                        if let Some(slot) = inner.frames[f as usize].find_free_run(n) {
+                            found = Some((f, slot));
+                            break;
+                        }
+                    }
+                }
+                if let Some((f, slot)) = found {
+                    return Ok((f, slot));
+                }
+            }
+            if let Some(f) = Self::pop_free_frame(&mut inner, &self.layout) {
+                inner.frames[f as usize].class = Some(cls);
+                inner.partial.entry(cls).or_default().push(f);
+                return Ok((f, 0));
+            }
+        }
+        Err(PoolError::OutOfMemory {
+            requested: payload + OBJ_HEADER_BYTES,
+        })
     }
 
     /// Pops a free frame and commits its OS page. Shared with GC destination
@@ -532,7 +673,7 @@ impl PmPool {
     ) -> bool {
         let _stripe = self.stripe(frame).lock();
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner_of_frame(frame as u64).lock();
             let st = &mut inner.frames[frame as usize];
             let usable = matches!(st.kind, FrameKind::Free | FrameKind::Active);
             if !usable || !st.is_run_free(slot, n) {
@@ -551,7 +692,7 @@ impl PmPool {
         self.engine.write_u64(ctx, hdr_off, word0);
         self.engine.write_u64(ctx, hdr_off + 8, 0);
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
-        let rec = self.inner.lock().frames[frame as usize].to_record();
+        let rec = self.inner_of_frame(frame as u64).lock().frames[frame as usize].to_record();
         self.write_bitmap_record(ctx, frame, &rec);
         true
     }
@@ -577,12 +718,18 @@ impl PmPool {
             });
         }
         let first = {
-            let mut inner = self.inner.lock();
+            // A huge run may cross shard boundaries (consecutive OS pages
+            // alternate owners), so hold every shard lock in ascending
+            // order for the whole reservation. Huge frames never relocate
+            // — the GC summary skips pages holding them — so cross-shard
+            // runs never entangle two shards' cycles.
+            let mut guards = self.lock_all();
             // Find `frames_needed` *consecutive* free frames.
             let mut run_start: Option<u32> = None;
             let mut run_len = 0usize;
             for f in 0..self.layout.num_frames as u32 {
-                if inner.frames[f as usize].kind == FrameKind::Free {
+                let owner = self.shard_of_frame(f as u64);
+                if guards[owner].frames[f as usize].kind == FrameKind::Free {
                     if run_len == 0 {
                         run_start = Some(f);
                     }
@@ -602,6 +749,7 @@ impl PmPool {
                 }
             };
             for f in start..start + frames_needed as u32 {
+                let inner = &mut guards[self.shard_of_frame(f as u64)];
                 inner.free_frames.retain(|&x| x != f);
                 let page = self.layout.os_page_of_frame(f as u64) as usize;
                 if !inner.os_pages[page].committed {
@@ -614,10 +762,11 @@ impl PmPool {
                 st.alloc = [u64::MAX; 4];
                 st.free_slots = 0;
             }
-            let st = &mut inner.frames[start as usize];
+            let first_inner = &mut guards[self.shard_of_frame(start as u64)];
+            let st = &mut first_inner.frames[start as usize];
             st.start[0] |= 1;
             st.live_bytes = total.min(u32::MAX as u64) as u32;
-            inner.live_bytes += total;
+            first_inner.live_bytes += total;
             start
         };
         // Header + bitmap records.
@@ -628,7 +777,7 @@ impl PmPool {
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
         for f in first..first + frames_needed as u32 {
             let _stripe = self.stripe(f).lock();
-            let rec = self.inner.lock().frames[f as usize].to_record();
+            let rec = self.inner_of_frame(f as u64).lock().frames[f as usize].to_record();
             self.write_bitmap_record(ctx, f, &rec);
         }
         Ok(PmPtr::new(self.pool_id, hdr_off + OBJ_HEADER_BYTES))
@@ -653,7 +802,7 @@ impl PmPool {
         // below must not interleave with a concurrent same-frame commit.
         let _stripe = self.stripe(frame).lock();
         let rec = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner_of_frame(frame as u64).lock();
             let st = &mut inner.frames[frame as usize];
             if !st.is_start(slot) {
                 return Err(PoolError::InvalidPointer {
@@ -699,7 +848,7 @@ impl PmPool {
     ) -> Result<(), PoolError> {
         let frames = total.div_ceil(FRAME_BYTES) as u32;
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner_of_frame(first as u64).lock();
             if !inner.frames[first as usize].is_start(0) {
                 return Err(PoolError::InvalidPointer {
                     raw: ptr.raw(),
@@ -720,8 +869,12 @@ impl PmPool {
             let _stripe = self.stripe(f).lock();
             self.write_bitmap_record(ctx, f, &[0u8; 64]);
         }
-        let mut inner = self.inner.lock();
+        // Release each frame under its owner's lock (the frames are all
+        // still `Huge`, so no other path can touch them meanwhile); the
+        // run's live bytes come off the start frame's owner, where the
+        // allocation charged them.
         for f in first..first + frames {
+            let mut inner = self.inner_of_frame(f as u64).lock();
             let st = &mut inner.frames[f as usize];
             st.kind = FrameKind::Free;
             st.alloc = [0; 4];
@@ -733,7 +886,7 @@ impl PmPool {
             let page = self.layout.os_page_of_frame(f as u64) as usize;
             inner.os_pages[page].used_frames -= 1;
         }
-        inner.live_bytes -= total;
+        self.inner_of_frame(first as u64).lock().live_bytes -= total;
         Ok(())
     }
 
@@ -804,12 +957,12 @@ impl PmPool {
 
     /// Volatile snapshot of a frame's allocator state.
     pub fn frame_state(&self, frame: u64) -> FrameState {
-        self.inner.lock().frames[frame as usize].clone()
+        self.inner_of_frame(frame).lock().frames[frame as usize].clone()
     }
 
     /// Changes a frame's role (GC: Active↔Relocation/Destination).
     pub fn set_frame_kind(&self, frame: u64, kind: FrameKind) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner_of_frame(frame).lock();
         inner.frames[frame as usize].kind = kind;
         if matches!(kind, FrameKind::Relocation | FrameKind::Destination) {
             // Stop the allocator from placing new objects there.
@@ -833,7 +986,7 @@ impl PmPool {
     }
 
     fn collect_frame_objects(&self, frame: u64) -> Vec<FrameObject> {
-        let st = self.inner.lock().frames[frame as usize].clone();
+        let st = self.inner_of_frame(frame).lock().frames[frame as usize].clone();
         st.start_slots()
             .map(|slot| {
                 let ptr = self.ptr_at(frame as u32, slot);
@@ -867,10 +1020,33 @@ impl PmPool {
     /// [`PoolError::OutOfMemory`] when no eligible free frame exists.
     pub fn take_destination_frame_avoiding(
         &self,
-        _ctx: &mut Ctx,
+        ctx: &mut Ctx,
         avoid: &std::collections::HashSet<u64>,
     ) -> Result<u64, PoolError> {
-        let mut inner = self.inner.lock();
+        for s in 0..self.nshards {
+            if let Ok(f) = self.take_destination_frame_avoiding_in(ctx, s, avoid) {
+                return Ok(f);
+            }
+        }
+        Err(PoolError::OutOfMemory {
+            requested: FRAME_BYTES,
+        })
+    }
+
+    /// Like [`PmPool::take_destination_frame_avoiding`] but takes the frame
+    /// from shard `shard`'s own free list, so a per-shard GC cycle keeps
+    /// its destinations inside the shard it is compacting.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::OutOfMemory`] when the shard has no eligible free frame.
+    pub fn take_destination_frame_avoiding_in(
+        &self,
+        _ctx: &mut Ctx,
+        shard: usize,
+        avoid: &std::collections::HashSet<u64>,
+    ) -> Result<u64, PoolError> {
+        let mut inner = self.shards[shard].lock();
         let mut skipped = Vec::new();
         let picked = loop {
             match Self::pop_free_frame(&mut inner, &self.layout) {
@@ -899,21 +1075,25 @@ impl PmPool {
     /// were released. The baseline allocator never calls this; the
     /// defragmenter does at each summary (empty pages are free wins).
     pub fn decommit_empty_pages(&self) -> u64 {
-        let mut inner = self.inner.lock();
-        let mut released = 0;
-        for p in inner.os_pages.iter_mut() {
-            if p.committed && p.used_frames == 0 {
-                p.committed = false;
-                released += 1;
+        let mut released_total = 0;
+        for s in 0..self.nshards {
+            let mut inner = self.shards[s].lock();
+            let mut released = 0;
+            for (pi, p) in inner.os_pages.iter_mut().enumerate() {
+                if pi % self.nshards == s && p.committed && p.used_frames == 0 {
+                    p.committed = false;
+                    released += 1;
+                }
             }
+            inner.committed_pages -= released;
+            released_total += released;
         }
-        inner.committed_pages -= released;
-        released
+        released_total
     }
 
     /// Whether OS page `page` is currently committed.
     pub fn page_committed(&self, page: u64) -> bool {
-        self.inner.lock().os_pages[page as usize].committed
+        self.shards[self.shard_of_page(page)].lock().os_pages[page as usize].committed
     }
 
     /// Reserves `n` slots at `slot` in destination frame `frame` for an
@@ -929,7 +1109,7 @@ impl PmPool {
     ) {
         let _stripe = self.stripe(frame as u32).lock();
         let rec = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner_of_frame(frame).lock();
             let st = &mut inner.frames[frame as usize];
             debug_assert_eq!(st.kind, FrameKind::Destination);
             st.mark_allocated(slot, n, bytes);
@@ -945,7 +1125,7 @@ impl PmPool {
     /// not refilled by the allocator — their leftover slots return only
     /// when the frame empties (consolidation waste, as in real allocators).
     pub fn finish_destination_frame(&self, frame: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner_of_frame(frame).lock();
         let st = &mut inner.frames[frame as usize];
         debug_assert_eq!(st.kind, FrameKind::Destination);
         st.kind = FrameKind::Active;
@@ -959,7 +1139,7 @@ impl PmPool {
     /// *not* reusable until [`PmPool::release_frame`] at cycle termination,
     /// because stale references into it are still being forwarded.
     pub fn evacuate_frame(&self, frame: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner_of_frame(frame).lock();
         if inner.frames[frame as usize].evacuated {
             return;
         }
@@ -979,7 +1159,7 @@ impl PmPool {
     pub fn release_frame(&self, ctx: &mut Ctx, frame: u64) {
         let _stripe = self.stripe(frame as u32).lock();
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner_of_frame(frame).lock();
             let st = &mut inner.frames[frame as usize];
             // Note: global live bytes are untouched — the frame's objects
             // were *moved*, not freed; they are still live at their
@@ -1011,9 +1191,31 @@ impl PmPool {
 
     // ---- fragmentation metrics ---------------------------------------------------
 
-    /// Current statistics (the paper's fragR metric).
+    /// Current statistics (the paper's fragR metric), summed over shards.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock();
+        let mut live = 0u64;
+        let mut pages = 0u64;
+        for s in self.shards.iter() {
+            let inner = s.lock();
+            live += inner.live_bytes;
+            pages += inner.committed_pages;
+        }
+        let footprint = pages * self.layout.os_page_size;
+        PoolStats {
+            live_bytes: live,
+            footprint_bytes: footprint,
+            committed_pages: pages,
+            frag_ratio: if live == 0 {
+                1.0
+            } else {
+                footprint as f64 / live as f64
+            },
+        }
+    }
+
+    /// [`PmPool::stats`] restricted to one shard (per-shard GC triggers).
+    pub fn shard_stats(&self, shard: usize) -> PoolStats {
+        let inner = self.shards[shard].lock();
         let footprint = inner.committed_pages * self.layout.os_page_size;
         let live = inner.live_bytes;
         PoolStats {
@@ -1030,19 +1232,67 @@ impl PmPool {
 
     /// Indices of frames currently holding ordinary allocations.
     pub fn active_frames(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
-        (0..inner.frames.len())
-            .filter(|&i| inner.frames[i].kind == FrameKind::Active)
-            .map(|i| i as u64)
-            .collect()
+        let mut out: Vec<u64> = Vec::new();
+        for (s, m) in self.shards.iter().enumerate() {
+            let inner = m.lock();
+            out.extend(
+                (0..inner.frames.len())
+                    .filter(|&i| {
+                        self.shard_of_frame(i as u64) == s
+                            && inner.frames[i].kind == FrameKind::Active
+                    })
+                    .map(|i| i as u64),
+            );
+        }
+        out.sort_unstable();
+        out
     }
 
     /// (live bytes, free slots) for an active frame — the summary phase's
     /// per-page fragmentation statistic.
     pub fn frame_occupancy(&self, frame: u64) -> (u32, u16) {
-        let inner = self.inner.lock();
+        let inner = self.inner_of_frame(frame).lock();
         let st = &inner.frames[frame as usize];
         (st.live_bytes, st.free_slots)
+    }
+
+    /// Test oracle: every shard's volatile bookkeeping (free list, partial
+    /// lists, active map, page accounting) must reference only frames and
+    /// pages that shard owns, and no frame may appear on two shards' lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shard references a frame or page it does not own.
+    pub fn assert_shard_ownership(&self) {
+        let mut seen: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for (s, m) in self.shards.iter().enumerate() {
+            let inner = m.lock();
+            let listed = inner
+                .free_frames
+                .iter()
+                .chain(inner.partial.values().flatten())
+                .chain(inner.active.values());
+            for &f in listed {
+                assert_eq!(
+                    self.shard_of_frame(f as u64),
+                    s,
+                    "shard {s} lists frame {f} owned by shard {}",
+                    self.shard_of_frame(f as u64)
+                );
+                if let Some(&other) = seen.get(&f) {
+                    assert_eq!(other, s, "frame {f} listed by shards {other} and {s}");
+                }
+                seen.insert(f, s);
+            }
+            for (pi, p) in inner.os_pages.iter().enumerate() {
+                if pi % self.nshards != s {
+                    assert!(
+                        !p.committed && p.used_frames == 0,
+                        "shard {s} accounts foreign page {pi}"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -1450,6 +1700,116 @@ mod tests {
             expected_live,
             "accounting balances"
         );
+    }
+
+    /// Sharded pools keep each shard's bookkeeping on its own frames and
+    /// reload the shard count from the media header on reopen.
+    #[test]
+    fn sharded_ownership_survives_racing_mutators() {
+        use std::sync::Arc;
+
+        let mut reg = TypeRegistry::new();
+        let t = reg.register(TypeDesc::new("node", 128, &[0]));
+        let pool = Arc::new(
+            PmPool::create_sharded(
+                PoolConfig {
+                    data_bytes: 8 << 20,
+                    ..PoolConfig::small_for_tests()
+                },
+                reg.clone(),
+                4,
+            )
+            .expect("create"),
+        );
+        assert_eq!(pool.num_shards(), 4);
+        let kept: Vec<Vec<PmPtr>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|tid| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let mut ctx = Ctx::new(pool.machine());
+                        ctx.set_arena(tid);
+                        let mut mine = Vec::new();
+                        for i in 0..300u64 {
+                            let p = pool.pmalloc(&mut ctx, t, 64 + (i % 3) * 64).expect("alloc");
+                            mine.push(p);
+                            if i % 3 == 2 {
+                                let q = mine.swap_remove(mine.len() / 2);
+                                pool.pfree(&mut ctx, q).expect("free");
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ok")).collect()
+        });
+        pool.assert_shard_ownership();
+        // Arena-homed allocations land on the arena's home shard unless
+        // stolen; at this fill level nothing should have been stolen, so
+        // the per-thread frame sets are disjoint.
+        let mut owners: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (tid, ptrs) in kept.iter().enumerate() {
+            for p in ptrs {
+                let f = pool.layout().frame_of(p.offset()).expect("in pool");
+                if let Some(&prev) = owners.get(&f) {
+                    assert_eq!(prev, tid as u32, "frame {f} shared across arenas");
+                }
+                owners.insert(f, tid as u32);
+            }
+        }
+        // Reopen: shard count comes back from the header and the rebuilt
+        // lists respect ownership.
+        let img = pool.engine().crash_image();
+        let pool2 = PmPool::open(img.restart(), reg).expect("open");
+        assert_eq!(pool2.num_shards(), 4);
+        pool2.assert_shard_ownership();
+        assert_eq!(pool2.stats().live_bytes, pool.stats().live_bytes);
+    }
+
+    /// When a shard runs dry the allocator borrows donor frames instead of
+    /// reporting OOM, and the donor's bookkeeping keeps the frame.
+    #[test]
+    fn exhausted_shard_steals_from_donors() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.register(TypeDesc::new("blob", 0, &[]));
+        let pool = PmPool::create_sharded(
+            PoolConfig {
+                data_bytes: 64 << 10, // 16 frames over 4 shards
+                ..PoolConfig::small_for_tests()
+            },
+            reg,
+            4,
+        )
+        .expect("create");
+        let mut ctx = Ctx::new(pool.machine());
+        ctx.set_arena(0); // home shard 0 owns only 4 frames
+        let mut got = Vec::new();
+        // 3968-byte objects fill a frame each; 12 allocations must spill
+        // past shard 0's 4 frames into donors.
+        for _ in 0..12 {
+            got.push(
+                pool.pmalloc(&mut ctx, t, 3968)
+                    .expect("steal instead of OOM"),
+            );
+        }
+        let frames: std::collections::BTreeSet<u64> = got
+            .iter()
+            .map(|p| pool.layout().frame_of(p.offset()).expect("in pool"))
+            .collect();
+        assert_eq!(frames.len(), 12);
+        assert!(
+            frames
+                .iter()
+                .any(|&f| pool.layout().shard_of_frame(f, 4) != 0),
+            "some frames must come from donor shards"
+        );
+        pool.assert_shard_ownership();
+        for p in got {
+            pool.pfree(&mut ctx, p).expect("free");
+        }
+        pool.assert_shard_ownership();
+        assert_eq!(pool.stats().live_bytes, 0);
     }
 
     #[test]

@@ -444,10 +444,13 @@ pub fn run_mt_on(
                 // context — the same interleaved-concurrency model (and
                 // aggregate collection rate) as the single-threaded driver;
                 // a starvable free-running GC thread would under-collect on
-                // small hosts. Thread 0 owns triggering.
+                // small hosts. Thread 0 owns triggering at one shard (that
+                // keeps the pinned deterministic totals); on a sharded heap
+                // every thread may trigger, so per-shard cycles start as
+                // soon as any mutator notices its shard fragmenting.
                 if heap.in_cycle() {
                     heap.step_compaction(&mut gc_ctx, gc_batch);
-                } else if tid == 0 && (op + 1).is_multiple_of(32) {
+                } else if (tid == 0 || heap.num_shards() > 1) && (op + 1).is_multiple_of(32) {
                     heap.maybe_defrag(&mut gc_ctx);
                 }
                 if let Some(p) = &op_progress {
@@ -485,6 +488,11 @@ pub fn run_mt_on(
         heap.exit(&mut wind_down);
     }
     check_shards(make, &heap, &shards);
+    // On a sharded heap every frame must still live in the pool shard
+    // that owns its OS page — a relocation that crossed shards would
+    // silently corrupt both shards' free lists and accounting, so every
+    // mt run doubles as an ownership audit.
+    heap.pool().assert_shard_ownership();
     let (avg_footprint, avg_live) = if samples.is_empty() {
         let st = heap.pool().stats();
         (st.footprint_bytes as f64, st.live_bytes as f64)

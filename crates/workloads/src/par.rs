@@ -1,11 +1,16 @@
 //! Hand-rolled fan-out parallelism for the sweep harness.
 //!
 //! The container ships no rayon, and the sweep's unit of work (one full
-//! capture-pass replay) is seconds-coarse, so a work-stealing pool would
-//! be overkill anyway. [`parallel_map`] spawns worker threads that claim
-//! *chunks* of item indices from a shared atomic counter and write results
-//! into index-addressed slots, so the output order always matches the
-//! input order regardless of which thread finished which item first.
+//! capture-pass replay) is seconds-coarse, so a full work-stealing pool
+//! would be overkill. [`parallel_map`] spawns worker threads that claim
+//! item indices *one at a time* from a shared atomic counter — the
+//! minimal work-stealing queue — and write results into index-addressed
+//! slots, so the output order always matches the input order regardless
+//! of which thread finished which item first. Per-item claiming matters
+//! for coarse, variance-heavy items: chunked claiming used to hand one
+//! worker a run of slow replays while its peers sat idle, which is how
+//! `sweep --jobs 4` measured *slower* than sequential; with a per-item
+//! counter the idle workers steal the stragglers instead.
 //!
 //! The worker count is clamped to the host's `available_parallelism` —
 //! asking for more jobs than cores used to spawn them all anyway, and the
@@ -31,13 +36,6 @@ pub fn effective_jobs(jobs: usize, len: usize) -> usize {
     jobs.max(1).min(len).min(host_cores())
 }
 
-/// Chunk size for claiming item indices: enough chunks that the tail
-/// balances across workers (~4 claims per worker), but never so many that
-/// per-claim overhead dominates fine-grained items.
-fn chunk_size(len: usize, jobs: usize) -> usize {
-    len.div_ceil(jobs * 4).max(1)
-}
-
 /// Applies `f` to every item of `items` on up to `jobs` threads (clamped
 /// to [`effective_jobs`]) and returns the results in input order.
 ///
@@ -56,22 +54,21 @@ where
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk = chunk_size(items.len(), jobs);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
-                // Claim a whole chunk per fetch_add: one atomic RMW and
-                // one cache-line ping amortized over `chunk` items.
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
+                // One item per claim: a worker stuck on a slow item never
+                // holds hostage a queue of unstarted ones — any idle peer
+                // takes the next index. One atomic RMW per item is noise
+                // against replay-scale work.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
                     break;
                 }
-                for i in start..(start + chunk).min(items.len()) {
-                    let r = f(i, &items[i]);
-                    *slots[i].lock() = Some(r);
-                }
+                let r = f(i, &items[i]);
+                *slots[i].lock() = Some(r);
             });
         }
     });
@@ -142,8 +139,8 @@ mod tests {
     }
 
     #[test]
-    fn chunks_cover_every_index_exactly_once() {
-        // Count how many times each index is produced; chunked claiming
+    fn claims_cover_every_index_exactly_once() {
+        // Count how many times each index is produced; per-item claiming
         // must hand every index to exactly one worker.
         let items: Vec<usize> = (0..1023).collect();
         let counts: Vec<AtomicUsize> = items.iter().map(|_| AtomicUsize::new(0)).collect();
