@@ -29,6 +29,16 @@
 //! this campaign; add `--smoke` for the CI geometry (4 sites × 32
 //! images).
 //!
+//! A fifth campaign (`--thread-crash`, §7.1e) kills K of N mutator
+//! *threads* — not the whole machine — at sampled durability-event
+//! ordinals while the survivors drain, then runs the full checker suite
+//! (op-log oracle with in-flight ambiguity, per-shard validation, arena
+//! ownership audit, heap validation) and a whole-machine restart. Cells
+//! cover 4 schemes × 4 workloads including the detectable queue, whose
+//! per-op completion is decidable on restart. Failures shrink to
+//! 1-minimal replayable `(seed, kill_site, victim)` triples. Add
+//! `--smoke` for the CI geometry (2 single-kill runs per cell).
+//!
 //! A fourth campaign (`--nested`, §7.1d) crashes *recovery itself*: each
 //! captured mutator-phase image is recovered with site tracking armed in
 //! the recovery phase, up to `FFCCD_NESTED_SITES` recovery sites per
@@ -48,8 +58,10 @@ use ffccd_workloads::driver::PhaseMix;
 use ffccd_workloads::faults::{run_crash_site_sweep, run_fault_injection, CrashPlan};
 use ffccd_workloads::nested::{run_nested_crash_sweep_jobs, NestedPlan};
 use ffccd_workloads::par::parallel_map;
+use ffccd_workloads::thread_crash::{run_thread_crash_campaign, ThreadCrashSettings};
 use ffccd_workloads::{
-    AvlTree, BplusTree, BzTree, Echo, FpTree, LinkedList, Pmemkv, RbTree, StringSwap, Workload,
+    AvlTree, BplusTree, BzTree, DetectableQueue, Echo, FpTree, LinkedList, Pmemkv, RbTree,
+    StringSwap, Workload,
 };
 
 /// A boxed workload constructor, keyed by display name in the campaign
@@ -422,8 +434,107 @@ fn nested_campaign(jobs: usize, smoke: bool) -> u64 {
     failures
 }
 
+/// Thread-crash campaign (§7.1e): 4 schemes × 4 workloads (including the
+/// detectable queue, which forfeits the in-flight ambiguity); each cell
+/// samples single-kill runs — plus double-kill runs in the full geometry —
+/// under the seeded turn scheduler, so every failure reduces to a
+/// replayable `(seed, kill_site, victim)` triple. Settings fan out over
+/// `jobs` threads; rows print in fixed setting order once the fan-out
+/// joins, so the output is job-count-invariant.
+fn thread_crash_campaign(jobs: usize, smoke: bool) -> u64 {
+    header("Section 7.1e: thread-crash exploration (K of N mutators die, survivors drain)");
+    let factories: Vec<(&str, Factory)> = vec![
+        ("LL", Box::new(|| Box::new(LinkedList::new()))),
+        ("DQ", Box::new(|| Box::new(DetectableQueue::new()))),
+        ("AVL", Box::new(|| Box::new(AvlTree::new()))),
+        ("pmemkv", Box::new(|| Box::new(Pmemkv::new()))),
+    ];
+    let schemes = [
+        Scheme::Espresso,
+        Scheme::Sfccd,
+        Scheme::FfccdFenceFree,
+        Scheme::FfccdCheckLookup,
+    ];
+    println!(
+        "{:<8} {:<22} {:>6} {:>7} {:>8} {:>9} {:>8}",
+        "bench", "scheme", "runs", "fired", "unfired", "in-flight", "result"
+    );
+    rule(76);
+    let settings: Vec<(usize, usize)> = (0..factories.len())
+        .flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si)))
+        .collect();
+    let rows = parallel_map(&settings, jobs.max(1), |_, &(wi, si)| {
+        let (name, make) = &factories[wi];
+        let scheme = schemes[si];
+        let seed = 0x7c4a00 + wi as u64 * 17 + si as u64;
+        let mut cell = if smoke {
+            ThreadCrashSettings::smoke(seed)
+        } else {
+            ThreadCrashSettings::full(seed)
+        };
+        let mut report = run_thread_crash_campaign(&**make, scheme, &cell);
+        if !smoke {
+            // Two extra double-kill runs per cell: only survivors drain,
+            // and failures still shrink to 1-minimal single-kill triples.
+            cell.kills_per_run = 2;
+            cell.runs = 2;
+            let double = run_thread_crash_campaign(&**make, scheme, &cell);
+            report.runs += double.runs;
+            report.kills_fired += double.kills_fired;
+            report.kills_unfired += double.kills_unfired;
+            report.inflight_ops += double.inflight_ops;
+            report.failures.extend(double.failures);
+        }
+        // Every cell must actually fire kills (a campaign that samples
+        // only past-the-end sites explored nothing), and every run must
+        // pass the checker suite — or fail with a replayable triple.
+        let ok = report.failures.is_empty() && report.kills_fired > 0;
+        let mut lines = vec![format!(
+            "{:<8} {:<22} {:>6} {:>7} {:>8} {:>9} {:>8}",
+            name,
+            scheme.label(),
+            report.runs,
+            report.kills_fired,
+            report.kills_unfired,
+            report.inflight_ops,
+            if ok { "PASS" } else { "FAIL" }
+        )];
+        if !ok {
+            for f in report.failures.iter().take(3) {
+                lines.push(format!("    {}: {}", f.triple(), f.error));
+            }
+        }
+        (lines, u64::from(!ok))
+    });
+    let mut failures = 0;
+    for (lines, failed) in rows {
+        for line in lines {
+            println!("{line}");
+        }
+        failures += failed;
+    }
+    rule(76);
+    println!(
+        "thread-crash: {} settings, jobs {jobs}: {}",
+        factories.len() * schemes.len(),
+        if failures == 0 {
+            "ALL PASS (every surviving cohort drains to a consistent heap)".to_owned()
+        } else {
+            format!("{failures} settings FAILED (triples above replay the kills)")
+        }
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--thread-crash") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if thread_crash_campaign(jobs(), smoke) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--nested") {
         let smoke = args.iter().any(|a| a == "--smoke");
         if nested_campaign(jobs(), smoke) > 0 {

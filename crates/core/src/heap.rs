@@ -18,7 +18,11 @@ use crate::config::{DefragConfig, Scheme};
 use crate::stats::{gc_counter, GcStats, GcStatsSnapshot};
 
 /// State of one in-flight defragmentation cycle (driver bookkeeping only —
-/// lookups live in [`CycleMirror`]).
+/// lookups live in [`CycleMirror`]). Clonable so cycle termination can work
+/// from a snapshot and leave the shared state in place until the teardown
+/// completes — a terminator dying mid-way (thread-crash fault model) must
+/// leave a state the next finisher can re-enter.
+#[derive(Clone)]
 pub(crate) struct CycleState {
     /// Frames being evacuated.
     pub reloc_frames: Vec<u64>,
@@ -96,6 +100,13 @@ pub(crate) struct Domain {
     /// from there.
     pub mirror: RwLock<Option<Arc<CycleMirror>>>,
     pub in_cycle: AtomicBool,
+    /// Work items popped from `cycle.pending` whose relocation has not
+    /// finished yet. A compaction pumper that dies mid-relocation
+    /// (thread-crash fault model) leaves its item here, and termination
+    /// drains the leftovers — without this, a popped-but-unrelocated
+    /// object's references would be fixed up to a destination that never
+    /// received the copy.
+    pub inflight: Mutex<Vec<(u64, usize)>>,
     /// `op_counter` value when this domain's last cycle started (per-shard
     /// trigger hysteresis).
     pub last_cycle_start: std::sync::atomic::AtomicU64,
@@ -373,6 +384,7 @@ impl DefragHeap {
                 cycle: Mutex::new(None),
                 mirror: RwLock::new(None),
                 in_cycle: AtomicBool::new(false),
+                inflight: Mutex::new(Vec::new()),
                 last_cycle_start: std::sync::atomic::AtomicU64::new(0),
             })
             .collect();
@@ -486,6 +498,23 @@ impl DefragHeap {
     pub fn flush_stats(&self, ctx: &mut Ctx) {
         ctx.ensure_counter_sink(&self.inner.stats_sink);
         ctx.flush_counters();
+    }
+
+    /// Reconciles a dead thread's batched counter deltas (its
+    /// [`ffccd_pmem::OrphanDeposit`]) into this heap's stats. An injected
+    /// thread crash skips the victim's drop-flush; the driver deposits the
+    /// orphaned deltas here at join so counter totals conserve exactly as
+    /// if the thread had wound down normally.
+    pub fn absorb_orphan_deltas(&self, deltas: &[u64; ffccd_pmem::COUNTER_SLOTS]) {
+        self.inner.stats_sink.flush_deltas(deltas);
+    }
+
+    /// Returns a dead thread's allocation arena to general service (see
+    /// [`ffccd_pmop::PmPool::retire_arena`]): its active bump frames become
+    /// ordinary partial frames other arenas can allocate from, instead of
+    /// holding capacity hostage until out-of-memory work stealing.
+    pub fn retire_arena(&self, arena: u32) {
+        self.inner.pool.retire_arena(arena);
     }
 
     /// Batches `n` into the Ctx-local counter for slot `idx` (see
@@ -621,6 +650,22 @@ impl DefragHeap {
     /// copies only differ when the relocation copy itself failed to persist
     /// — making the re-copy always safe.
     pub(crate) fn sfccd_mirror(&self, ctx: &mut Ctx, off: u64, data: &[u8]) {
+        self.sfccd_mirror_excluding(ctx, off, data, None);
+    }
+
+    /// [`Self::sfccd_mirror`] that ignores shard `exclude`'s own mirror.
+    /// Cycle termination passes its shard here: the terminating cycle's
+    /// source frames are released moments later, so mirroring into them is
+    /// pointless — and the mirror now stays published through termination
+    /// (for thread-crash re-entry), so without the exclusion the teardown
+    /// walk would start mirroring stores it never used to.
+    pub(crate) fn sfccd_mirror_excluding(
+        &self,
+        ctx: &mut Ctx,
+        off: u64,
+        data: &[u8],
+        exclude: Option<usize>,
+    ) {
         if self.inner.cfg.scheme != Scheme::Sfccd || !self.in_cycle() {
             return;
         }
@@ -628,6 +673,9 @@ impl DefragHeap {
         let Some(frame) = layout.frame_of(off) else {
             return;
         };
+        if exclude == Some(layout.shard_of_frame(frame, self.inner.domains.len())) {
+            return;
+        }
         let Some(m) = self.mirror_for(frame) else {
             return;
         };
@@ -784,10 +832,29 @@ impl DefragHeap {
             _ => {
                 // Software path: is_frag_page bitmap, then PMFT walk.
                 let byte = self.engine().read_u8(ctx, inner.meta.fragmap_byte(frame));
-                if byte >> (frame % 8) & 1 == 0 {
-                    None
-                } else {
+                let armed = byte >> (frame % 8) & 1 == 1
+                    && self
+                        .mirror_for(frame)
+                        .is_some_and(|m| m.entry(frame).is_some());
+                if armed {
                     inner.pmft.soft_lookup(ctx, self.engine(), frame, slot)
+                } else {
+                    // A set frag bit whose frame is absent from its
+                    // domain's armed cycle mirror is persistent summary
+                    // residue: a thread died mid-summary (thread-crash
+                    // fault model) after persisting this frame's PMFT
+                    // entry but before the volatile arm — possibly with a
+                    // *newer* cycle since armed on the same shard.
+                    // Relocating through the half-built mapping would move
+                    // objects into a destination frame the exit-time
+                    // rollback rightly treats as empty, so the residue
+                    // must stay inert until it is healed. The mirror check
+                    // never fires in normal runs: frag bits are only set
+                    // (summary) or cleared (termination) under the world
+                    // write lock with the mirror published before the lock
+                    // drops, so a barrier holding the read lock always
+                    // sees a set bit with a mirror entry behind it.
+                    None
                 }
             }
         };
@@ -811,6 +878,25 @@ impl DefragHeap {
         slot: usize,
         dest_frame: u64,
         dest_slot: u8,
+    ) {
+        self.ensure_relocated_inner(ctx, frame, slot, dest_frame, dest_slot, true);
+    }
+
+    /// [`Self::ensure_relocated`] with the mirror-driven paths (batched
+    /// relocation, progressive release) switchable off. Cycle termination
+    /// passes `use_mirror = false`: it drains single-object so the
+    /// termination op stream matches the pre-mirror behaviour even though
+    /// the mirror now stays published until the teardown completes (a
+    /// mid-termination thread crash needs it live for re-entry and for the
+    /// surviving mutators' barriers).
+    pub(crate) fn ensure_relocated_inner(
+        &self,
+        ctx: &mut Ctx,
+        frame: u64,
+        slot: usize,
+        dest_frame: u64,
+        dest_slot: u8,
+        use_mirror: bool,
     ) {
         let inner = &*self.inner;
         let t0 = ctx.cycles();
@@ -842,9 +928,9 @@ impl DefragHeap {
         // Batched relocation (fast path): carry every pending sibling that
         // shares this critical section, coalescing the per-object moved-bit
         // persists into one. Falls back to single-object relocation when no
-        // mirror entry is available (e.g. inside `finish_cycle`, which takes
-        // the mirror down before draining the queue).
-        if inner.cfg.reloc_fastpath {
+        // mirror entry is available or the caller (`finish_cycle`) asked
+        // for the single-object drain.
+        if use_mirror && inner.cfg.reloc_fastpath {
             if let Some(m) = self.mirror_for(frame) {
                 if let Some(e) = m.entry(frame) {
                     self.relocate_batch(ctx, &m, e, frame, slot, single);
@@ -869,9 +955,13 @@ impl DefragHeap {
         // has moved, the frame stops counting toward the footprint — the
         // frame itself is recycled at termination. The count lives in the
         // mirror (atomic), so no cycle-mutex round trip on the hot path.
-        if let Some(m) = self.mirror_for(frame) {
-            if m.note_moved(frame) {
-                inner.pool.evacuate_frame(frame);
+        // Skipped during termination (`use_mirror = false`): the frames are
+        // torn down wholesale moments later.
+        if use_mirror {
+            if let Some(m) = self.mirror_for(frame) {
+                if m.note_moved(frame) {
+                    inner.pool.evacuate_frame(frame);
+                }
             }
         }
     }

@@ -421,10 +421,15 @@ impl DefragHeap {
                         None => break,
                     }
                 };
+                // Track the popped item until its relocation lands: a
+                // pumper dying mid-copy (thread-crash fault model) must not
+                // silently drop it — termination drains the leftovers.
+                domain.inflight.lock().push(item);
                 let (frame, slot) = item;
                 let e = mirror.entry(frame).expect("entry for pending frame");
                 let dslot = e.lookup(slot).expect("mapped slot");
                 self.ensure_relocated(ctx, frame, slot, e.dest_frame, dslot);
+                domain.inflight.lock().retain(|it| *it != item);
             }
         }
         let remaining = domain
@@ -456,27 +461,42 @@ impl DefragHeap {
             return;
         }
         let _w = inner.world.write();
-        let Some(cs) = domain.cycle.lock().take() else {
+        // Work from a *snapshot*: the shared cycle state and mirror stay
+        // published until step 7. A terminator dying mid-teardown
+        // (thread-crash fault model) then leaves a state the surviving
+        // mutators' barriers keep working against and the next finisher
+        // re-enters — every step below is idempotent, with host-side
+        // frame-kind guards on the ones that are not (frame release,
+        // destination conversion). Taking the state up front instead used
+        // to orphan the cycle forever: `in_cycle` stayed set with the
+        // state gone, so every later finish early-returned and the
+        // persistent header/PMFT/frag residue outlived `exit()`.
+        let Some(cs) = domain.cycle.lock().clone() else {
             return;
         };
-        // Take the mirror down with the cycle state: relocations below run
-        // with progressive release already over (the frames are torn down
-        // wholesale in step 4), matching the pre-mirror behaviour.
         let mirror = domain
             .mirror
-            .write()
-            .take()
+            .read()
+            .clone()
             .expect("mirror exists while a cycle is active");
+        // Items popped from `pending` by pumpers that died mid-relocation.
+        let leftover: Vec<(u64, usize)> = domain.inflight.lock().clone();
         let engine = self.engine();
         engine.note_phase_site(phase_sites::TERMINATE_BEGIN);
         let layout = *inner.pool.layout();
         let hdr = inner.meta.cycle_header + 16 * shard as u64;
 
-        // 1. finish pending relocations.
-        for &(frame, slot) in cs.pending.iter() {
+        // 1. finish pending relocations (single-object drain, mirror paths
+        //    off — see `ensure_relocated_inner`), plus any item a dead
+        //    pumper popped but never finished. The frame-kind guard skips
+        //    frames a previous, interrupted finisher already released.
+        for &(frame, slot) in cs.pending.iter().chain(leftover.iter()) {
+            if inner.pool.frame_state(frame).kind != FrameKind::Relocation {
+                continue;
+            }
             let e = mirror.entry(frame).expect("entry for pending frame");
             let d = e.lookup(slot).expect("mapped slot");
-            self.ensure_relocated(ctx, frame, slot, e.dest_frame, d);
+            self.ensure_relocated_inner(ctx, frame, slot, e.dest_frame, d, false);
         }
 
         // 2. durability: destination data and moved bits must be in PM
@@ -497,7 +517,16 @@ impl DefragHeap {
         //    only there, so walking the stale source could miss references
         //    into our relocation frames.
         let t0 = ctx.cycles();
-        let reloc_set: HashSet<u64> = cs.reloc_frames.iter().copied().collect();
+        // Only frames still in Relocation kind get their references
+        // rewritten: on re-entry after an interrupted teardown, a released
+        // frame may already hold fresh allocations whose references must
+        // not be redirected through the stale mapping.
+        let reloc_set: HashSet<u64> = cs
+            .reloc_frames
+            .iter()
+            .copied()
+            .filter(|&f| inner.pool.frame_state(f).kind == FrameKind::Relocation)
+            .collect();
         let dest_set: HashSet<u64> = cs.dest_frames.iter().copied().collect();
         let others: Vec<Arc<CycleMirror>> = inner
             .domains
@@ -532,9 +561,15 @@ impl DefragHeap {
                         // The slot may live in another live domain's
                         // destination copy: keep the SFCCD source mirror in
                         // step or its recovery re-copy would roll this
-                        // rewrite back. No-op outside SFCCD cycles, and at
-                        // one shard our own mirror is already down.
-                        me.sfccd_mirror(ctx, slot_off, &new.raw().to_le_bytes());
+                        // rewrite back. No-op outside SFCCD cycles; our own
+                        // terminating shard is excluded (its sources are
+                        // released below).
+                        me.sfccd_mirror_excluding(
+                            ctx,
+                            slot_off,
+                            &new.raw().to_le_bytes(),
+                            Some(shard),
+                        );
                         Some(new)
                     } else if dest_set.contains(&frame) {
                         engine2.clwb(ctx, slot_off);
@@ -574,20 +609,27 @@ impl DefragHeap {
 
         // 4. per-frame teardown: frag bit, the frame itself, then the PMFT
         //    entry — the entry goes last so state-2 recovery can finish any
-        //    frame whose teardown was interrupted.
+        //    frame whose teardown was interrupted. The kind guard makes the
+        //    release single-shot across re-entries (releasing a frame twice
+        //    would double-insert it into the free list).
         for &f in &cs.reloc_frames {
             let fb = inner.meta.fragmap_byte(f);
             let byte = engine.read_u8(ctx, fb) & !(1 << (f % 8));
             engine.write(ctx, fb, &[byte]);
             engine.persist(ctx, fb, 1);
-            inner.pool.release_frame(ctx, f);
+            if inner.pool.frame_state(f).kind == FrameKind::Relocation {
+                inner.pool.release_frame(ctx, f);
+                inner.stats.add_cycles(&inner.stats.frames_released, 1);
+            }
             inner.pmft.clear(ctx, engine, f);
-            inner.stats.add_cycles(&inner.stats.frames_released, 1);
         }
 
-        // 5. destinations become ordinary frames; reached words reset.
+        // 5. destinations become ordinary frames (single-shot, kind-
+        //    guarded); reached words reset.
         for &d in &cs.dest_frames {
-            inner.pool.finish_destination_frame(d);
+            if inner.pool.frame_state(d).kind == FrameKind::Destination {
+                inner.pool.finish_destination_frame(d);
+            }
             engine.write_u64(ctx, inner.meta.reached_word(d), 0);
             engine.persist(ctx, inner.meta.reached_word(d), 8);
         }
@@ -611,6 +653,12 @@ impl DefragHeap {
         if let Some(clu) = &inner.clu {
             clu.end_cycle_shard(shard);
         }
+        // Teardown is fully durable: only now does the shared volatile
+        // state come down (mirror and cycle first, then the flags the
+        // barrier paths key on).
+        *domain.cycle.lock() = None;
+        *domain.mirror.write() = None;
+        domain.inflight.lock().clear();
         domain.in_cycle.store(false, Ordering::Release);
         inner.active_cycles.fetch_sub(1, Ordering::Release);
         inner.stats.add_cycles(&inner.stats.cycles_completed, 1);
@@ -620,10 +668,81 @@ impl DefragHeap {
         engine.note_phase_site(phase_sites::TERMINATE_END);
     }
 
-    /// `exit()` (§5): finishes any ongoing defragmentation and releases all
+    /// Live-heap mirror of recovery's summary rollback: rolls back any
+    /// shard whose *persistent* cycle residue (PMFT entries, frag bits,
+    /// cycle header) or pool frame roles (Relocation/Destination) survived
+    /// with no volatile cycle behind them. That state is orphaned when a
+    /// thread dies inside the summary phase (thread-crash fault model)
+    /// before the volatile arm at the end of `summary_shard`:
+    /// machine-crash recovery would roll it back at reopen ("a pre-header
+    /// crash can roll all of it back"), but the *live* heap would
+    /// otherwise leak the frames and fail validation. Detection uses
+    /// uncharged host peeks only, so a clean exit leaves the simulated op
+    /// stream untouched.
+    fn heal_orphaned_summaries(&self, ctx: &mut Ctx) {
+        let inner = &*self.inner;
+        let engine = self.engine();
+        let nshards = inner.domains.len();
+        let layout = *inner.pool.layout();
+        let all = inner.pmft.load_all(engine);
+        for shard in 0..nshards {
+            let domain = &inner.domains[shard];
+            if domain.in_cycle.load(Ordering::Acquire) {
+                continue;
+            }
+            let hdr = inner.meta.cycle_header + 16 * shard as u64;
+            let hdr_state = engine.with_media(|m| m.read_u64(hdr));
+            let entries: Vec<_> = all
+                .iter()
+                .filter(|e| layout.shard_of_frame(e.reloc_frame, nshards) == shard)
+                .collect();
+            // Frames still parked in a GC role with no cycle to back them
+            // (a partially-assembled summary may take a destination frame
+            // before storing any entry against it).
+            let stray: Vec<u64> = (0..layout.num_frames)
+                .filter(|&f| layout.shard_of_frame(f, nshards) == shard)
+                .filter(|&f| {
+                    matches!(
+                        inner.pool.frame_state(f).kind,
+                        FrameKind::Relocation | FrameKind::Destination
+                    )
+                })
+                .collect();
+            if hdr_state == 0 && entries.is_empty() && stray.is_empty() {
+                continue;
+            }
+            let _w = inner.world.write();
+            for e in &entries {
+                // Frag bit first, PMFT entry last — `rollback_summary`'s
+                // order, keeping the rollback itself re-runnable.
+                let fb = inner.meta.fragmap_byte(e.reloc_frame);
+                let byte = engine.read_u8(ctx, fb) & !(1 << (e.reloc_frame % 8));
+                engine.write(ctx, fb, &[byte]);
+                engine.persist(ctx, fb, 1);
+                inner.pmft.clear(ctx, engine, e.reloc_frame);
+            }
+            for &f in &stray {
+                match inner.pool.frame_state(f).kind {
+                    // Never armed: the objects still live at the source.
+                    FrameKind::Relocation => inner.pool.set_frame_kind(f, FrameKind::Active),
+                    // Any persisted reservations vacate with the frame.
+                    FrameKind::Destination => inner.pool.release_frame(ctx, f),
+                    _ => {}
+                }
+            }
+            if hdr_state != 0 {
+                engine.write_u64(ctx, hdr, 0);
+                engine.persist(ctx, hdr, 16);
+            }
+        }
+    }
+
+    /// `exit()` (§5): finishes any ongoing defragmentation, rolls back any
+    /// summary-phase residue orphaned by a dead thread, and releases all
     /// related metadata.
     pub fn exit(&self, ctx: &mut Ctx) {
         self.finish_cycle(ctx);
+        self.heal_orphaned_summaries(ctx);
         self.flush_stats(ctx);
     }
 }

@@ -90,7 +90,9 @@ pub fn validate_heap(heap: &DefragHeap) -> Result<ValidationSummary, Vec<String>
         let slot = ((hdr_off - layout.frame_start(frame)) / SLOT_BYTES) as usize;
         let st = pool.frame_state(frame);
         if matches!(st.kind, FrameKind::Free) {
-            problems.push(format!("pointer {ptr} into a free frame {frame}"));
+            problems.push(format!(
+                "pointer {ptr} at slot {slot_off:#x} into a free frame {frame}"
+            ));
             continue;
         }
         let head_frame = st.kind == FrameKind::Huge && !st.is_start(0);

@@ -1,5 +1,6 @@
 //! Per-thread execution context: cycle counter, stats, private TLB.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cache::Evicted;
@@ -27,6 +28,114 @@ const DEFAULT_FLUSH_EVERY: u32 = 64;
 pub trait CounterSink: Send + Sync {
     /// Adds each `deltas[i]` into the sink's counter `i`.
     fn flush_deltas(&self, deltas: &[u64; COUNTER_SLOTS]);
+}
+
+/// Sentinel `kill_at` value: the arm counts durability events but never
+/// fires. Campaign reference runs use this to measure each thread's event
+/// total before sampling kill sites from it.
+pub const THREAD_CRASH_OBSERVE: u64 = u64::MAX;
+
+/// Panic payload raised when an armed thread crash fires. The mt driver
+/// catches this at the op boundary, treats the thread as dead, and lets the
+/// surviving mutators keep running — any other panic is resumed unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadCrashUnwind {
+    /// Victim thread index (the arm's identity, echoed for reports).
+    pub victim: usize,
+    /// Durability-event ordinal (1-based) the kill fired at.
+    pub events: u64,
+}
+
+/// Everything a dead thread's contexts leave behind: batched counter
+/// deltas that never reached the sink, simulated cycles, and event stats.
+/// The driver reconciles this into the shared stats at join — an injected
+/// kill must not silently lose counters (the conservation contract).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrphanDeposit {
+    /// Unflushed batched counter deltas, summed over the thread's contexts.
+    pub deltas: [u64; COUNTER_SLOTS],
+    /// Simulated cycles the dead thread had accumulated (app + GC contexts
+    /// combined; the morgue cannot attribute them further).
+    pub cycles: u64,
+    /// Merged event stats of the dead thread's contexts.
+    pub stats: ThreadStats,
+    /// How many contexts deposited (one per [`Ctx`] sharing the arm).
+    pub deposits: u32,
+}
+
+impl OrphanDeposit {
+    fn absorb(&mut self, deltas: &[u64; COUNTER_SLOTS], cycles: u64, stats: &ThreadStats) {
+        for (slot, d) in self.deltas.iter_mut().zip(deltas) {
+            *slot += d;
+        }
+        self.cycles += cycles;
+        self.stats.merge(stats);
+        self.deposits += 1;
+    }
+}
+
+/// Arms one simulated thread for an injected crash.
+///
+/// Shared (via `Arc`) between the thread's application and GC contexts so
+/// the combined stream of durability events — stores, `clwb`s, fences —
+/// is counted on one ordinal axis. When the ordinal reaches `kill_at` the
+/// engine raises a [`ThreadCrashUnwind`] panic from the event's entry
+/// point (before any engine lock is taken, so simulated state stays
+/// consistent); the arm fires at most once.
+///
+/// Selection discipline matches `sites.rs`: under the seeded mt schedule
+/// the event ordinals are a pure function of the run seed, so a failing
+/// kill is replayable forever from its `(seed, kill_site, victim)` triple.
+#[derive(Debug)]
+pub struct ThreadCrashArm {
+    victim: usize,
+    kill_at: u64,
+    events: AtomicU64,
+    fired: AtomicBool,
+    morgue: parking_lot::Mutex<OrphanDeposit>,
+}
+
+impl ThreadCrashArm {
+    /// Creates an arm killing `victim` at durability event `kill_at`
+    /// (1-based; [`THREAD_CRASH_OBSERVE`] never fires, only counts).
+    pub fn new(victim: usize, kill_at: u64) -> Arc<Self> {
+        Arc::new(ThreadCrashArm {
+            victim,
+            kill_at: kill_at.max(1),
+            events: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            morgue: parking_lot::Mutex::new(OrphanDeposit::default()),
+        })
+    }
+
+    /// The victim thread index this arm identifies.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+
+    /// Durability events observed so far across all contexts sharing the
+    /// arm.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Whether the kill has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Counts one durability event; `true` exactly once, when the ordinal
+    /// hits `kill_at`.
+    #[inline]
+    pub(crate) fn tick(&self) -> bool {
+        let n = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        n >= self.kill_at && !self.fired.swap(true, Ordering::AcqRel)
+    }
+
+    /// Takes the dead thread's deposited state (driver-side, after join).
+    pub fn take_orphan(&self) -> OrphanDeposit {
+        std::mem::take(&mut self.morgue.lock())
+    }
 }
 
 /// Execution context for one simulated hardware thread (core).
@@ -86,6 +195,10 @@ pub struct Ctx {
     /// driver sets this; the value is volatile per-thread config, not
     /// simulated state.
     root_shard: Option<u64>,
+    /// Injected-crash arm for the thread this context belongs to (`None`:
+    /// normal execution, zero overhead on the event path beyond one
+    /// branch). Shared with the thread's other contexts.
+    crash_arm: Option<Arc<ThreadCrashArm>>,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -119,6 +232,31 @@ impl Ctx {
             flush_every: DEFAULT_FLUSH_EVERY,
             arena: 0,
             root_shard: None,
+            crash_arm: None,
+        }
+    }
+
+    /// Arms this context for an injected thread crash (see
+    /// [`ThreadCrashArm`]). Install the same arm on every context the
+    /// thread drives so the event ordinal covers its whole durability
+    /// stream.
+    pub fn arm_thread_crash(&mut self, arm: &Arc<ThreadCrashArm>) {
+        self.crash_arm = Some(arm.clone());
+    }
+
+    /// The installed crash arm, if any.
+    pub fn thread_crash_arm(&self) -> Option<&Arc<ThreadCrashArm>> {
+        self.crash_arm.as_ref()
+    }
+
+    /// Counts one durability event against the crash arm; `true` when the
+    /// kill must fire now (the engine raises the unwind so it can stamp
+    /// the site first). No-op without an arm.
+    #[inline]
+    pub(crate) fn durability_tick(&self) -> bool {
+        match &self.crash_arm {
+            None => false,
+            Some(arm) => arm.tick(),
         }
     }
 
@@ -219,6 +357,19 @@ impl Ctx {
 
 impl Drop for Ctx {
     fn drop(&mut self) {
+        if let Some(arm) = &self.crash_arm {
+            if arm.fired() {
+                // The thread died mid-run: its batched state must not flow
+                // into the live sink as if the thread had wound down
+                // normally. Deposit everything in the arm's morgue for the
+                // driver to reconcile at join (the conservation contract).
+                arm.morgue
+                    .lock()
+                    .absorb(&self.pending_counters, self.cycles, &self.stats);
+                self.pending_counters = [0; COUNTER_SLOTS];
+                return;
+            }
+        }
         self.flush_counters();
     }
 }
@@ -296,6 +447,50 @@ mod tests {
         ctx.bump_counter(1, 5);
         assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 2);
         assert_eq!(sink.totals.lock().unwrap()[..2], [1, 5]);
+    }
+
+    #[test]
+    fn fired_arm_routes_drop_state_to_the_morgue() {
+        let sink: Arc<VecSink> = Arc::new(VecSink::default());
+        let dynsink: Arc<dyn CounterSink> = sink.clone();
+        let arm = ThreadCrashArm::new(3, 2);
+        {
+            let mut ctx = Ctx::new(&MachineConfig::default());
+            ctx.ensure_counter_sink(&dynsink);
+            ctx.arm_thread_crash(&arm);
+            ctx.bump_counter(1, 9);
+            ctx.charge(40);
+            assert!(!ctx.durability_tick(), "event 1 of 2");
+            assert!(ctx.durability_tick(), "event 2 fires");
+            assert!(!ctx.durability_tick(), "an arm fires at most once");
+            assert!(arm.fired());
+        }
+        // Nothing reached the sink; everything landed in the morgue.
+        assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let orphan = arm.take_orphan();
+        assert_eq!(orphan.deltas[1], 9);
+        assert_eq!(orphan.cycles, 40);
+        assert_eq!(orphan.deposits, 1);
+        // take_orphan drains: a second take is empty.
+        assert_eq!(arm.take_orphan().deposits, 0);
+    }
+
+    #[test]
+    fn observe_arm_counts_without_firing() {
+        let arm = ThreadCrashArm::new(0, THREAD_CRASH_OBSERVE);
+        let ctx = {
+            let mut ctx = Ctx::new(&MachineConfig::default());
+            ctx.arm_thread_crash(&arm);
+            ctx
+        };
+        for _ in 0..100 {
+            assert!(!ctx.durability_tick());
+        }
+        assert_eq!(arm.events(), 100);
+        assert!(!arm.fired());
+        drop(ctx);
+        // An unfired arm leaves drop behaviour alone (normal flush path).
+        assert_eq!(arm.take_orphan().deposits, 0);
     }
 
     #[test]

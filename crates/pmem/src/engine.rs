@@ -35,7 +35,7 @@ use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use crate::addr::{line_of, lines_spanning, Line, CACHELINE_BYTES};
 use crate::cache::{CacheSim, Evicted};
 use crate::crash::{CrashImage, MaybeLine, MaybeOrigin, MaybeSet};
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, ThreadCrashUnwind};
 use crate::media::Media;
 use crate::observer::PersistObserver;
 use crate::sites::{SiteCapture, SiteKind, SitePhase, SiteSummary, SiteTracker};
@@ -372,6 +372,7 @@ impl PmEngine {
     }
 
     fn write_impl(&self, ctx: &mut Ctx, off: u64, data: &[u8], pending: bool) {
+        self.thread_crash_tick(ctx);
         ctx.stats.stores += 1;
         let first_bank = self.bank_of(line_of(off));
         let mut cur = first_bank;
@@ -423,6 +424,7 @@ impl PmEngine {
     /// persistence domain — until this core's next [`PmEngine::sfence`]
     /// pushes it into the WPQ, or asynchronous retirement gets to it.
     pub fn clwb(&self, ctx: &mut Ctx, off: u64) {
+        self.thread_crash_tick(ctx);
         ctx.stats.clwbs += 1;
         ctx.charge(self.cfg.clwb_cost);
         let line = line_of(off);
@@ -457,6 +459,7 @@ impl PmEngine {
     /// (tracked in [`Ctx`]); bank 0 is always visited for the fence's own
     /// site event and asynchronous drain progress.
     pub fn sfence(&self, ctx: &mut Ctx) {
+        self.thread_crash_tick(ctx);
         ctx.stats.sfences += 1;
         // The fence waits for every writeback this thread issued since its
         // last fence to be accepted by the persistence domain.
@@ -479,6 +482,42 @@ impl PmEngine {
                 bank.background_drain(self, bi, 1);
             }
         }
+    }
+
+    /// Counts one durability event against the caller's thread-crash arm
+    /// (see [`crate::ThreadCrashArm`]); when the armed ordinal is reached,
+    /// raises the kill *before* the event executes and before any bank
+    /// lock is taken, so the surviving threads see a consistent simulated
+    /// machine — exactly the state as of the victim's previous event.
+    #[inline]
+    fn thread_crash_tick(&self, ctx: &mut Ctx) {
+        if ctx.durability_tick() {
+            self.raise_thread_crash(ctx);
+        }
+    }
+
+    #[cold]
+    fn raise_thread_crash(&self, ctx: &Ctx) {
+        let arm = ctx.thread_crash_arm().expect("tick fired without an arm");
+        // Stamp the kill in the site stream when tracking is armed — noted
+        // only on fire, so an armed-but-unfired kill never perturbs the
+        // deterministic site-ID sequence.
+        if self.shared.sites_active.load(Ordering::Acquire) {
+            let bank = self.banks[0].write();
+            bank.site_event(self, SiteKind::ThreadCrash, arm.victim() as u64);
+        }
+        if std::env::var("FFCCD_TRACE_KILL").is_ok() {
+            eprintln!(
+                "TRACE kill fires victim={} events={}\n{}",
+                arm.victim(),
+                arm.events(),
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
+        std::panic::panic_any(ThreadCrashUnwind {
+            victim: arm.victim(),
+            events: arm.events(),
+        });
     }
 
     /// Convenience: `clwb` every line of `[off, off+len)` then `sfence` —

@@ -57,11 +57,18 @@ pub enum SiteKind {
     /// A GC phase transition reported by the heap layer (the `detail`
     /// field carries the phase code).
     Phase,
+    /// An injected per-thread crash fired: one mutator died at a
+    /// durability event while the rest of the machine kept running (the
+    /// `detail` field carries the victim thread index). Unlike the other
+    /// kinds this event is only noted when a [`crate::ThreadCrashArm`]
+    /// actually fires, so arming a kill never shifts the deterministic
+    /// site-ID sequence of the events before it.
+    ThreadCrash,
 }
 
 impl SiteKind {
     /// Every kind, in `detail`-independent declaration order.
-    pub const ALL: [SiteKind; 9] = [
+    pub const ALL: [SiteKind; 10] = [
         SiteKind::Store,
         SiteKind::PendingStore,
         SiteKind::Clwb,
@@ -71,6 +78,7 @@ impl SiteKind {
         SiteKind::CapacityEvict,
         SiteKind::BackgroundEvict,
         SiteKind::Phase,
+        SiteKind::ThreadCrash,
     ];
 
     /// Short display label.
@@ -85,6 +93,7 @@ impl SiteKind {
             SiteKind::CapacityEvict => "capacity-evict",
             SiteKind::BackgroundEvict => "background-evict",
             SiteKind::Phase => "phase",
+            SiteKind::ThreadCrash => "thread-crash",
         }
     }
 

@@ -172,6 +172,68 @@ const RECORD_STRIPES: usize = 64;
 /// Maximum payload of a non-huge object: it must fit one frame with header.
 pub(crate) const MAX_SMALL_PAYLOAD: u64 = FRAME_BYTES - OBJ_HEADER_BYTES;
 
+/// Unwind guard for `commit_alloc` (thread-crash fault model): a thread
+/// killed between marking its slots allocated and completing the object
+/// header write would otherwise leave volatile-allocated slots behind a
+/// stale garbage header, which the next sweep would then free *by that
+/// header* — with an out-of-bounds huge-free in the worst case. Dropping
+/// while armed rolls the volatile reservation back, mirroring how
+/// machine-crash recovery drops slots whose record never became durable.
+struct UndoAlloc<'a> {
+    pool: &'a PmPool,
+    frame: u32,
+    slot: usize,
+    n: usize,
+    total: u64,
+    armed: bool,
+}
+
+impl Drop for UndoAlloc<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.pool
+                .undo_alloc_volatile(self.frame, self.slot, self.n, self.total);
+        }
+    }
+}
+
+/// Unwind guard for `pmalloc_huge`: same hazard and discipline as
+/// [`UndoAlloc`], but the rollback returns the whole reserved frame run to
+/// the free lists (the run was carved from free frames, so nothing else
+/// can have touched it while the guard is armed).
+struct UndoHugeAlloc<'a> {
+    pool: &'a PmPool,
+    first: u32,
+    frames: u32,
+    total: u64,
+    armed: bool,
+}
+
+impl Drop for UndoHugeAlloc<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for f in self.first..self.first + self.frames {
+            let mut inner = self.pool.inner_of_frame(f as u64).lock();
+            let st = &mut inner.frames[f as usize];
+            st.kind = FrameKind::Free;
+            st.alloc = [0; 4];
+            st.start = [0; 4];
+            st.free_slots = SLOTS_PER_FRAME as u16;
+            st.live_bytes = 0;
+            st.class = None;
+            inner.free_frames.push(f);
+            let page = self.pool.layout.os_page_of_frame(f as u64) as usize;
+            inner.os_pages[page].used_frames -= 1;
+        }
+        self.pool
+            .inner_of_frame(self.first as u64)
+            .lock()
+            .live_bytes -= self.total;
+    }
+}
+
 impl PmPool {
     // ---- lifecycle ----------------------------------------------------------
 
@@ -644,6 +706,48 @@ impl PmPool {
         })
     }
 
+    /// Retires allocation arena `arena` after its owner thread died: every
+    /// active bump frame the arena still claims is demoted to an ordinary
+    /// partial (or free) frame of its owning shard, so the orphan's
+    /// reserved capacity returns to general service instead of sitting
+    /// invisible to both the partial scan and the work-stealing path until
+    /// out-of-memory.
+    ///
+    /// Frames never change shard — demotion happens inside each owner
+    /// shard's own lock, honouring the documented stripe → inner lock
+    /// order (no stripe or steal lock is needed: only volatile list
+    /// membership moves, never persistent state). Racing allocators are
+    /// safe: a thief that found the frame via the partial list re-verifies
+    /// its run under the commit stripe like any other allocation.
+    pub fn retire_arena(&self, arena: u32) {
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            let claimed: Vec<(u8, u32)> = inner
+                .active
+                .iter()
+                .filter(|((a, _), _)| *a == arena)
+                .map(|((_, cls), &f)| (*cls, f))
+                .collect();
+            for (cls, f) in claimed {
+                inner.active.remove(&(arena, cls));
+                let st = &inner.frames[f as usize];
+                if st.kind == FrameKind::Free {
+                    // Claimed but never used: return it to the free list,
+                    // mirroring pfree's fully-freed transition.
+                    inner.frames[f as usize].class = None;
+                    inner.free_frames.push(f);
+                    let page = self.layout.os_page_of_frame(f as u64) as usize;
+                    inner.os_pages[page].used_frames -= 1;
+                } else if st.free_slots > 0 {
+                    inner.partial.entry(cls).or_default().push(f);
+                }
+                // Full frames stay unlisted; the owner shard's pfree
+                // re-lists them as soon as a slot frees, exactly as for a
+                // demoted active frame.
+            }
+        }
+    }
+
     /// Pops a free frame and commits its OS page. Shared with GC destination
     /// reservation.
     fn pop_free_frame(inner: &mut AllocInner, layout: &PoolLayout) -> Option<u32> {
@@ -682,6 +786,23 @@ impl PmPool {
             st.mark_allocated(slot, n, (payload + OBJ_HEADER_BYTES) as u32);
             inner.live_bytes += payload + OBJ_HEADER_BYTES;
         }
+        // Thread-crash analog of the persistent commit point below: the
+        // slots are marked allocated in volatile state but the header is
+        // not written yet, so a thread dying inside the header write would
+        // leave an allocated slot whose header is stale garbage — the
+        // sweeper would later free it *by that garbage header*. Roll the
+        // volatile reservation back on unwind, exactly as machine-crash
+        // recovery drops the slots when the record never became durable.
+        // Declared after `_stripe` so the rollback runs with the stripe
+        // still held.
+        let mut undo = UndoAlloc {
+            pool: self,
+            frame,
+            slot,
+            n,
+            total: payload + OBJ_HEADER_BYTES,
+            armed: true,
+        };
         // Persist order gives the allocator a commit point: header first,
         // then the bitmap record. A crash in between leaves the slots free.
         // The stripe held across both writes keeps any other thread from
@@ -692,9 +813,20 @@ impl PmPool {
         self.engine.write_u64(ctx, hdr_off, word0);
         self.engine.write_u64(ctx, hdr_off + 8, 0);
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
+        // Header complete: a death past this point leaves an ordinary
+        // unreachable object the next sweep collects.
+        undo.armed = false;
         let rec = self.inner_of_frame(frame as u64).lock().frames[frame as usize].to_record();
         self.write_bitmap_record(ctx, frame, &rec);
         true
+    }
+
+    /// Rolls a small-object allocation's volatile reservation back when the
+    /// allocating thread dies (unwinds) between `mark_allocated` and the
+    /// completion of the object-header write. Disarmed once the header is
+    /// complete. See `commit_alloc`.
+    fn undo_alloc_volatile(&self, frame: u32, slot: usize, n: usize, total: u64) {
+        let _ = self.free_slots_volatile(frame, slot, n, total);
     }
 
     fn write_bitmap_record(&self, ctx: &mut Ctx, frame: u32, rec: &[u8; 64]) {
@@ -769,12 +901,23 @@ impl PmPool {
             first_inner.live_bytes += total;
             start
         };
+        // Thread-crash rollback (see `UndoHugeAlloc`): until the header is
+        // complete, a dying thread must return the reserved run to the free
+        // lists rather than leave Huge frames behind a garbage header.
+        let mut undo = UndoHugeAlloc {
+            pool: self,
+            first,
+            frames: frames_needed as u32,
+            total,
+            armed: true,
+        };
         // Header + bitmap records.
         let hdr_off = self.layout.frame_start(first as u64);
         let word0 = ((type_id.0 as u64) << 32) | payload;
         self.engine.write_u64(ctx, hdr_off, word0);
         self.engine.write_u64(ctx, hdr_off + 8, 0);
         self.engine.persist(ctx, hdr_off, OBJ_HEADER_BYTES);
+        undo.armed = false;
         for f in first..first + frames_needed as u32 {
             let _stripe = self.stripe(f).lock();
             let rec = self.inner_of_frame(f as u64).lock().frames[f as usize].to_record();
@@ -801,42 +944,50 @@ impl PmPool {
         // Stripe before inner (the pool-wide lock order): the record write
         // below must not interleave with a concurrent same-frame commit.
         let _stripe = self.stripe(frame).lock();
-        let rec = {
-            let mut inner = self.inner_of_frame(frame as u64).lock();
-            let st = &mut inner.frames[frame as usize];
-            if !st.is_start(slot) {
-                return Err(PoolError::InvalidPointer {
-                    raw: ptr.raw(),
-                    reason: "not an object start",
-                });
-            }
-            st.mark_freed(slot, n, total as u32);
-            let cls = st.class;
-            let became_partial = st.kind == FrameKind::Active
-                && st.free_slots as usize == n
-                && cls.is_some()
-                && !inner.active.values().any(|&f| f == frame);
-            if became_partial {
-                inner
-                    .partial
-                    .entry(cls.expect("checked above"))
-                    .or_default()
-                    .push(frame);
-            }
-            if inner.frames[frame as usize].kind == FrameKind::Free {
-                // Page stays committed (PMDK never decommits); the frame is
-                // reusable though.
-                inner.frames[frame as usize].class = None;
-                inner.purge(frame);
-                inner.free_frames.push(frame);
-                let page = self.layout.os_page_of_frame(frame as u64) as usize;
-                inner.os_pages[page].used_frames -= 1;
-            }
-            inner.live_bytes -= total;
-            inner.frames[frame as usize].to_record()
-        };
+        if !self.inner_of_frame(frame as u64).lock().frames[frame as usize].is_start(slot) {
+            return Err(PoolError::InvalidPointer {
+                raw: ptr.raw(),
+                reason: "not an object start",
+            });
+        }
+        let rec = self.free_slots_volatile(frame, slot, n, total);
         self.write_bitmap_record(ctx, frame, &rec);
         Ok(())
+    }
+
+    /// The volatile half of a small-object free: bitmap and class-list
+    /// bookkeeping plus accounting, under the frame's shard lock. Shared by
+    /// [`Self::pfree`] (which then persists the returned record) and the
+    /// [`UndoAlloc`] thread-crash rollback (which does not — the dying
+    /// thread's record write never happened, so the persistent state
+    /// already agrees). Caller holds the frame's stripe.
+    fn free_slots_volatile(&self, frame: u32, slot: usize, n: usize, total: u64) -> [u8; 64] {
+        let mut inner = self.inner_of_frame(frame as u64).lock();
+        let st = &mut inner.frames[frame as usize];
+        st.mark_freed(slot, n, total as u32);
+        let cls = st.class;
+        let became_partial = st.kind == FrameKind::Active
+            && st.free_slots as usize == n
+            && cls.is_some()
+            && !inner.active.values().any(|&f| f == frame);
+        if became_partial {
+            inner
+                .partial
+                .entry(cls.expect("checked above"))
+                .or_default()
+                .push(frame);
+        }
+        if inner.frames[frame as usize].kind == FrameKind::Free {
+            // Page stays committed (PMDK never decommits); the frame is
+            // reusable though.
+            inner.frames[frame as usize].class = None;
+            inner.purge(frame);
+            inner.free_frames.push(frame);
+            let page = self.layout.os_page_of_frame(frame as u64) as usize;
+            inner.os_pages[page].used_frames -= 1;
+        }
+        inner.live_bytes -= total;
+        inner.frames[frame as usize].to_record()
     }
 
     fn pfree_huge(
@@ -847,6 +998,21 @@ impl PmPool {
         total: u64,
     ) -> Result<(), PoolError> {
         let frames = total.div_ceil(FRAME_BYTES) as u32;
+        // Defense in depth against torn headers (thread-crash fault model):
+        // `total` comes from the object header, so before zeroing `frames`
+        // consecutive records the span must actually be a Huge run inside
+        // the pool. A header whose size claims a huge span from a non-Huge
+        // frame — or past the end of the frame table — is corrupt, not a
+        // freeable object. Host-side checks only; both always hold for a
+        // legitimately allocated huge object.
+        if first as u64 + frames as u64 > self.layout.num_frames
+            || self.frame_state(first as u64).kind != FrameKind::Huge
+        {
+            return Err(PoolError::InvalidPointer {
+                raw: ptr.raw(),
+                reason: "huge-object header span exceeds its allocation",
+            });
+        }
         {
             let mut inner = self.inner_of_frame(first as u64).lock();
             if !inner.frames[first as usize].is_start(0) {
@@ -1333,6 +1499,58 @@ mod tests {
         assert_eq!(ty, t);
         assert_eq!(size, 128);
         pool.pfree(&mut ctx, p).expect("free");
+    }
+
+    #[test]
+    fn retire_arena_returns_orphan_frames_to_service() {
+        let (pool, mut ctx, t) = test_pool();
+        // Arena 7 (a "dead thread's" arena) claims an active bump frame.
+        ctx.set_arena(7);
+        let p = pool.pmalloc(&mut ctx, t, 128).expect("orphan alloc");
+        let (frame, _) = pool.locate(p).expect("locate");
+        {
+            let inner = pool.shards[pool.shard_of_frame(frame as u64)].lock();
+            assert!(
+                inner.active.values().any(|&f| f == frame),
+                "frame is the orphan arena's active frame"
+            );
+        }
+        pool.retire_arena(7);
+        {
+            let inner = pool.shards[pool.shard_of_frame(frame as u64)].lock();
+            assert!(
+                !inner.active.values().any(|&f| f == frame),
+                "retired arena holds no active frames"
+            );
+            assert!(
+                inner.partial.values().any(|v| v.contains(&frame)),
+                "orphan's partially-used frame is back on the partial list"
+            );
+        }
+        // Another arena can now bump-allocate straight out of it.
+        ctx.set_arena(0);
+        let q = pool.pmalloc(&mut ctx, t, 128).expect("survivor alloc");
+        let (frame2, _) = pool.locate(q).expect("locate");
+        assert_eq!(frame2, frame, "survivor reuses the orphan's frame");
+        // Retiring an arena with nothing claimed (or twice) is a no-op.
+        pool.retire_arena(7);
+        pool.retire_arena(99);
+    }
+
+    #[test]
+    fn retire_arena_after_full_free_is_a_noop() {
+        let (pool, mut ctx, t) = test_pool();
+        let free_before = pool.shards[0].lock().free_frames.len();
+        // Freeing the arena's only object already purges the frame from
+        // the active map (pfree's fully-freed transition); retiring the
+        // arena afterwards must change nothing.
+        ctx.set_arena(5);
+        let p = pool.pmalloc(&mut ctx, t, 128).expect("alloc");
+        pool.pfree(&mut ctx, p).expect("free");
+        pool.retire_arena(5);
+        let inner = pool.shards[0].lock();
+        assert!(!inner.active.keys().any(|(a, _)| *a == 5));
+        assert_eq!(inner.free_frames.len(), free_before);
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! concurrent defragmentation and sampling the fragmentation metrics.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use ffccd::{DefragConfig, DefragHeap, GcStatsSnapshot, Scheme};
-use ffccd_pmem::MachineConfig;
+use ffccd::{validate_heap, DefragConfig, DefragHeap, GcStatsSnapshot, Scheme};
+use ffccd_pmem::{MachineConfig, ThreadCrashArm, ThreadCrashUnwind, THREAD_CRASH_OBSERVE};
 use ffccd_pmop::{PmPtr, PoolConfig, TypeDesc, TypeId, TypeRegistry};
 
 use crate::util::KeyGen;
@@ -220,6 +222,78 @@ struct OpRecord {
     found: bool,
 }
 
+/// One injected per-thread kill: `victim` dies at its `kill_site`-th
+/// durability event (1-based ordinal over the thread's combined
+/// application + GC engine traffic — the same `(seed, site_id)` selection
+/// discipline as the whole-machine crash sweeps in `sites.rs`). Under
+/// [`MtSchedule::Seeded`] the ordinal stream is a pure function of the run
+/// seed, so a failing kill replays forever from its
+/// `(seed, kill_site, victim)` triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadKill {
+    /// Thread index to kill (`0..threads`).
+    pub victim: usize,
+    /// Durability-event ordinal the kill fires at (1-based).
+    pub kill_site: u64,
+}
+
+/// A set of injected thread crashes for one [`run_mt_faulted`] run: kill K
+/// of the N mutator threads at sampled sites while the survivors keep
+/// running against the live heap. An empty plan is the campaign's
+/// *reference run* — nothing dies, but every thread's durability-event
+/// total is measured so kill sites can be sampled from the real range.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadFaultPlan {
+    /// The kills to inject (at most one per victim; the first wins).
+    pub kills: Vec<ThreadKill>,
+}
+
+impl ThreadFaultPlan {
+    /// A plan killing exactly one thread.
+    pub fn single(victim: usize, kill_site: u64) -> Self {
+        ThreadFaultPlan {
+            kills: vec![ThreadKill { victim, kill_site }],
+        }
+    }
+
+    fn kill_site_for(&self, tid: usize) -> Option<u64> {
+        self.kills
+            .iter()
+            .find(|k| k.victim == tid)
+            .map(|k| k.kill_site)
+    }
+}
+
+/// What one injected kill actually did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VictimReport {
+    /// The planned victim thread.
+    pub victim: usize,
+    /// The planned kill site (durability-event ordinal).
+    pub kill_site: u64,
+    /// Whether the kill fired (the thread may complete its ops first).
+    pub fired: bool,
+    /// The operation the victim died inside, if it died mid-op:
+    /// `(insert, key)`. `None` with `fired` means it died in the GC pump
+    /// or between ops — no structure op was in flight.
+    pub inflight: Option<(bool, u64)>,
+    /// Completed (logged) operations before death.
+    pub ops_completed: u64,
+}
+
+/// Everything a thread-crash run produced: the usual metrics (victim
+/// cycles reconciled from the morgue), per-kill reports, and each thread's
+/// observed durability-event total (the sampling range for kill sites).
+#[derive(Clone, Debug)]
+pub struct ThreadCrashOutcome {
+    /// Run metrics over survivors plus the victims' pre-death work.
+    pub result: RunResult,
+    /// One report per planned kill.
+    pub victims: Vec<VictimReport>,
+    /// Durability events observed per thread (index = thread id).
+    pub events_per_thread: Vec<u64>,
+}
+
 /// State of the [`MtSchedule::Seeded`] turn scheduler: the PRNG hands the
 /// turn to a thread weighted by its remaining ops, so the interleaving
 /// stays balanced and every schedule is a pure function of the seed.
@@ -263,6 +337,35 @@ impl SeededTurns {
             self.current = next;
         }
     }
+
+    /// Removes a dead thread from the schedule: its remaining turns are
+    /// cancelled and, if it held the current turn, the turn moves on.
+    /// Without this every survivor would eventually park forever waiting
+    /// for the victim's next turn.
+    fn retire_thread(&mut self, tid: usize) {
+        self.remaining[tid] = 0;
+        if self.current == tid {
+            if let Some(next) = Self::pick(&mut self.rng, &self.remaining) {
+                self.current = next;
+            }
+        }
+    }
+}
+
+/// Silences the default panic-hook report for [`ThreadCrashUnwind`]
+/// payloads (an injected kill is an expected, caught event — thousands
+/// fire per campaign); every other panic keeps the previous hook.
+fn install_quiet_thread_crash_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ThreadCrashUnwind>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// Runs one private `workload` instance (from `make`) per application
@@ -310,9 +413,73 @@ pub fn run_mt_on(
     heap: &DefragHeap,
     op_progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 ) -> RunResult {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    run_mt_impl(make, threads, cfg, heap, op_progress, None).result
+}
 
+/// [`run_mt`] with an injected [`ThreadFaultPlan`]: the planned victims die
+/// at their kill sites while the surviving mutators keep running against
+/// the live heap and drain normally. The full checker suite then runs —
+/// per-shard op-log oracle (with in-flight-op ambiguity, or exact
+/// detectability where the workload supports it), [`Workload::validate`],
+/// heap validation, the pool shard-ownership audit — and finally the
+/// machine restarts from a crash image to verify whole-machine recovery
+/// still holds over the orphaned state. Panics on any divergence.
+pub fn run_mt_faulted(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+    plan: &ThreadFaultPlan,
+) -> ThreadCrashOutcome {
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed: cfg.seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let (reg, _) = mt_registry(make().registry(), threads);
+    let heap = DefragHeap::create(pool_cfg, reg, cfg.defrag).expect("driver pool creation");
+    run_mt_faulted_on(make, threads, cfg, &heap, plan)
+}
+
+/// [`run_mt_faulted`] against a caller-provided heap (created with the
+/// [`mt_registry`]-extended registry), so tests can capture crash images
+/// or inspect pool state after the faulted run and its checkers finish.
+pub fn run_mt_faulted_on(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+    heap: &DefragHeap,
+    plan: &ThreadFaultPlan,
+) -> ThreadCrashOutcome {
+    run_mt_impl(make, threads, cfg, heap, None, Some(plan))
+}
+
+/// Per-thread result of one mutator thread (shared between the normal and
+/// faulted paths).
+struct ThreadOutcome {
+    app_cycles: u64,
+    gc_cycles: u64,
+    live: BTreeSet<u64>,
+    oplog: Vec<OpRecord>,
+    samples: Vec<Sample>,
+    /// `Some` when the thread died to an injected kill.
+    died: Option<VictimReport>,
+    /// Durability events observed (0 when unarmed).
+    events: u64,
+}
+
+fn run_mt_impl(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    threads: usize,
+    cfg: &DriverConfig,
+    heap: &DefragHeap,
+    op_progress: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    plan: Option<&ThreadFaultPlan>,
+) -> ThreadCrashOutcome {
+    if plan.is_some() {
+        install_quiet_thread_crash_hook();
+    }
     let heap = heap.clone();
     let threads = threads.max(1);
     let per_thread_ops = (cfg.mix.init + cfg.mix.phase_ops * cfg.mix.phases) / threads;
@@ -340,6 +507,7 @@ pub fn run_mt_on(
     // batching override. Setup runs on the main thread so a workload's
     // volatile-index construction needs no extra synchronization.
     let mut ctxs: Vec<ffccd_pmem::Ctx> = Vec::with_capacity(threads);
+    let mut arms: Vec<Option<Arc<ThreadCrashArm>>> = Vec::with_capacity(threads);
     for (tid, w) in insts.iter_mut().enumerate() {
         let mut ctx = heap.ctx();
         ctx.set_arena(tid as u32);
@@ -348,6 +516,18 @@ pub fn run_mt_on(
             ctx.set_counter_flush_every(n);
         }
         w.setup(&heap, &mut ctx);
+        // Arm *after* setup so the kill ordinal counts only main-loop
+        // durability events: the reference run and every kill run then
+        // see the same event stream, keeping `(seed, kill_site, victim)`
+        // triples replayable. Threads without a planned kill get an
+        // observe-only arm so the reference run can report each thread's
+        // event total (the sampling range for future kill sites).
+        let arm = plan.map(|p| {
+            let a = ThreadCrashArm::new(tid, p.kill_site_for(tid).unwrap_or(THREAD_CRASH_OBSERVE));
+            ctx.arm_thread_crash(&a);
+            a
+        });
+        arms.push(arm);
         ctxs.push(ctx);
     }
 
@@ -362,6 +542,11 @@ pub fn run_mt_on(
         ))),
     };
     let global_op = Arc::new(AtomicU64::new(0));
+    // GC-trigger duty holder: thread 0 owns triggering at one shard, but a
+    // dead thread 0 must hand the duty on or a single-shard heap would
+    // never defragment again. Normal runs only ever read the initial 0, so
+    // their behaviour (and the pinned deterministic totals) is unchanged.
+    let trigger_owner = Arc::new(AtomicUsize::new(0));
 
     let mut handles = Vec::new();
     for (tid, (mut w, mut ctx)) in insts.into_iter().zip(ctxs).enumerate() {
@@ -374,15 +559,24 @@ pub fn run_mt_on(
         let turns = turns.clone();
         let global_op = global_op.clone();
         let op_progress = op_progress.clone();
+        let trigger_owner = trigger_owner.clone();
+        let arm = arms[tid].clone();
         handles.push(std::thread::spawn(move || {
             // Register so the heap knows how many threads can race
             // first-touch relocation (a sole mutator skips stripe locks).
             let _mutator = heap.register_mutator();
             let mut gc_ctx = heap.ctx();
+            if let Some(a) = &arm {
+                // The kill ordinal counts the thread's *combined* app + GC
+                // durability events, so the GC context shares the arm.
+                gc_ctx.arm_thread_crash(a);
+            }
+            let armed = arm.is_some();
             let mut keys = KeyGen::new(seed);
             let mut live: BTreeSet<u64> = BTreeSet::new();
             let mut oplog: Vec<OpRecord> = Vec::with_capacity(per_thread_ops);
             let mut samples: Vec<Sample> = Vec::new();
+            let mut died: Option<VictimReport> = None;
             let total = (mix.init + mix.phase_ops * mix.phases).max(1);
             for op in 0..per_thread_ops {
                 // In seeded mode, park until the scheduler hands this
@@ -390,6 +584,9 @@ pub fn run_mt_on(
                 // every engine access is totally ordered by the PRNG.
                 let mut turn_guard = turns.as_ref().map(|t| {
                     let (lock, cv) = &**t;
+                    // An injected kill never unwinds through this guard
+                    // (it is caught inside the op body), so the turn lock
+                    // can never be poisoned by a planned crash.
                     let mut st = lock.lock().expect("turn lock");
                     while st.current != tid {
                         st = cv.wait(st).expect("turn lock");
@@ -419,39 +616,113 @@ pub fn run_mt_on(
                     let phase = (scaled - mix.init) / mix.phase_ops.max(1);
                     phase % 2 == 1
                 } || live.is_empty();
-                heap.critical(|| {
-                    if insert {
-                        let k = keys.fresh();
-                        let vs = keys.value_size(value_size.0, value_size.1);
-                        w.insert(&heap, &mut ctx, k, vs);
-                        live.insert(k);
-                        oplog.push(OpRecord {
-                            insert: true,
-                            key: k,
-                            found: true,
+                // Decide the op before entering the (possibly dying) body:
+                // the key stream is thread-local, so hoisting changes no
+                // thread's sequence, and it lets the victim path name the
+                // exact in-flight op `(insert, key)` for the checker.
+                let planned: Option<(bool, u64, usize)> = if insert {
+                    let k = keys.fresh();
+                    let vs = keys.value_size(value_size.0, value_size.1);
+                    Some((true, k, vs))
+                } else {
+                    keys.pick(&live).map(|k| (false, k, 0))
+                };
+                let logged_before = oplog.len();
+                let caught = {
+                    let mut body = || {
+                        heap.critical(|| match planned {
+                            Some((true, k, vs)) => {
+                                w.insert(&heap, &mut ctx, k, vs);
+                                live.insert(k);
+                                oplog.push(OpRecord {
+                                    insert: true,
+                                    key: k,
+                                    found: true,
+                                });
+                            }
+                            Some((false, k, _)) => {
+                                let found = w.delete(&heap, &mut ctx, k);
+                                live.remove(&k);
+                                oplog.push(OpRecord {
+                                    insert: false,
+                                    key: k,
+                                    found,
+                                });
+                            }
+                            None => {}
                         });
-                    } else if let Some(k) = keys.pick(&live) {
-                        let found = w.delete(&heap, &mut ctx, k);
-                        live.remove(&k);
-                        oplog.push(OpRecord {
-                            insert: false,
-                            key: k,
-                            found,
-                        });
+                        // Every thread lends time to the collector on a
+                        // dedicated context — the same interleaved-
+                        // concurrency model (and aggregate collection rate)
+                        // as the single-threaded driver; a starvable free-
+                        // running GC thread would under-collect on small
+                        // hosts. The trigger owner (thread 0 until it dies)
+                        // owns triggering at one shard — that keeps the
+                        // pinned deterministic totals; on a sharded heap
+                        // every thread may trigger, so per-shard cycles
+                        // start as soon as any mutator notices its shard
+                        // fragmenting.
+                        if heap.in_cycle() {
+                            heap.step_compaction(&mut gc_ctx, gc_batch);
+                        } else if (tid == trigger_owner.load(Ordering::Relaxed)
+                            || heap.num_shards() > 1)
+                            && (op + 1).is_multiple_of(32)
+                        {
+                            heap.maybe_defrag(&mut gc_ctx);
+                        }
+                    };
+                    if armed {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut body)).err()
+                    } else {
+                        body();
+                        None
                     }
-                });
-                // Every thread lends time to the collector on a dedicated
-                // context — the same interleaved-concurrency model (and
-                // aggregate collection rate) as the single-threaded driver;
-                // a starvable free-running GC thread would under-collect on
-                // small hosts. Thread 0 owns triggering at one shard (that
-                // keeps the pinned deterministic totals); on a sharded heap
-                // every thread may trigger, so per-shard cycles start as
-                // soon as any mutator notices its shard fragmenting.
-                if heap.in_cycle() {
-                    heap.step_compaction(&mut gc_ctx, gc_batch);
-                } else if (tid == 0 || heap.num_shards() > 1) && (op + 1).is_multiple_of(32) {
-                    heap.maybe_defrag(&mut gc_ctx);
+                };
+                if let Some(payload) = caught {
+                    // Only an injected kill is caught; everything else
+                    // (assertion failures inside the op) keeps unwinding.
+                    let unwind: Box<ThreadCrashUnwind> = payload
+                        .downcast()
+                        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+                    // The op body appends to the log only after the
+                    // structure op returns, so a short log means the kill
+                    // landed *inside* the planned op — the one op whose
+                    // outcome the checker must treat as ambiguous (or
+                    // decide exactly, for detectable structures).
+                    let inflight = if oplog.len() == logged_before {
+                        planned.map(|(ins, k, _)| (ins, k))
+                    } else {
+                        None
+                    };
+                    // Hand GC-trigger duty to the next thread and return
+                    // the dead thread's allocation arena to service so its
+                    // active bump frames don't hold capacity hostage.
+                    // Both land *before* the turn is surrendered: a woken
+                    // survivor must observe the handoff and the recycled
+                    // arena at a fixed point in the turn order, or two
+                    // seeded replays of the same kill diverge on who pumps
+                    // the GC next.
+                    let _ = trigger_owner.compare_exchange(
+                        tid,
+                        tid + 1,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                    heap.retire_arena(tid as u32);
+                    if let Some(st) = turn_guard.as_mut() {
+                        st.retire_thread(tid);
+                        let (_, cv) = &**turns.as_ref().expect("seeded mode");
+                        cv.notify_all();
+                    }
+                    drop(turn_guard);
+                    died = Some(VictimReport {
+                        victim: tid,
+                        kill_site: unwind.events,
+                        fired: true,
+                        inflight,
+                        ops_completed: oplog.len() as u64,
+                    });
+                    break;
                 }
                 if let Some(p) = &op_progress {
                     p.fetch_add(1, Ordering::Release);
@@ -462,11 +733,24 @@ pub fn run_mt_on(
                     cv.notify_all();
                 }
             }
-            // Push any batched barrier counters into the shared GcStats
-            // before the main thread snapshots it.
-            heap.flush_stats(&mut ctx);
-            heap.flush_stats(&mut gc_ctx);
-            (ctx.cycles(), gc_ctx.cycles(), live, oplog, samples)
+            if died.is_none() {
+                // Push any batched barrier counters into the shared GcStats
+                // before the main thread snapshots it. A victim skips this:
+                // its contexts' drops route their state into the arm's
+                // morgue, reconciled by the main thread at join.
+                heap.flush_stats(&mut ctx);
+                heap.flush_stats(&mut gc_ctx);
+            }
+            let events = arm.as_ref().map(|a| a.events()).unwrap_or(0);
+            ThreadOutcome {
+                app_cycles: if died.is_some() { 0 } else { ctx.cycles() },
+                gc_cycles: if died.is_some() { 0 } else { gc_ctx.cycles() },
+                live,
+                oplog,
+                samples,
+                died,
+                events,
+            }
         }));
     }
     let mut app_cycles = 0u64;
@@ -474,25 +758,94 @@ pub fn run_mt_on(
     let mut total_ops = 0u64;
     let mut samples: Vec<Sample> = Vec::new();
     let mut shards: Vec<(BTreeSet<u64>, Vec<OpRecord>)> = Vec::with_capacity(threads);
-    for h in handles {
-        let (cycles, gc, live, oplog, thread_samples) = h.join().expect("app thread");
-        app_cycles += cycles;
-        gc_cycles += gc;
-        total_ops += per_thread_ops as u64;
-        samples.extend(thread_samples);
-        shards.push((live, oplog));
+    let mut victims: Vec<VictimReport> = Vec::new();
+    let mut events_per_thread = vec![0u64; threads];
+    for (tid, h) in handles.into_iter().enumerate() {
+        let out = h.join().expect("app thread");
+        app_cycles += out.app_cycles;
+        gc_cycles += out.gc_cycles;
+        total_ops += if plan.is_some() {
+            out.oplog.len() as u64
+        } else {
+            per_thread_ops as u64
+        };
+        samples.extend(out.samples);
+        events_per_thread[tid] = out.events;
+        if let Some(v) = out.died {
+            victims.push(v);
+        }
+        shards.push((out.live, out.oplog));
+    }
+    // Reconcile orphaned per-thread state: a victim's context drops routed
+    // their batched counters, cycles and stats into the arm's morgue (a
+    // dead thread can no longer flush into the shared sinks); absorbing the
+    // deposit here restores the conservation contract — totals come out
+    // exactly as if the thread had wound down normally.
+    for arm in arms.iter().flatten() {
+        if arm.fired() {
+            let orphan = arm.take_orphan();
+            heap.absorb_orphan_deltas(&orphan.deltas);
+            app_cycles += orphan.cycles;
+        }
+    }
+    if let Some(p) = plan {
+        // A kill planned past the thread's last durability event never
+        // fires; report it unfired so campaigns can resample instead of
+        // mistaking it for a survived bug.
+        for k in &p.kills {
+            if !victims.iter().any(|v| v.victim == k.victim) {
+                victims.push(VictimReport {
+                    victim: k.victim,
+                    kill_site: k.kill_site,
+                    fired: false,
+                    inflight: None,
+                    ops_completed: per_thread_ops as u64,
+                });
+            }
+        }
+        // Every mutator registration must have unwound with its thread: a
+        // leaked registration would permanently disable (or, at a stale
+        // count of 1, wrongly enable) the single-mutator relocation bypass
+        // for the survivors.
+        assert_eq!(
+            heap.registered_mutators(),
+            0,
+            "mutator registration leaked across a thread crash"
+        );
     }
     samples.sort_unstable_by_key(|s| s.op);
     {
         let mut wind_down = heap.ctx();
         heap.exit(&mut wind_down);
     }
-    check_shards(make, &heap, &shards);
+    if plan.is_some() {
+        check_shards_crashed(make, &heap, &shards, &victims);
+    } else {
+        check_shards(make, &heap, &shards);
+    }
     // On a sharded heap every frame must still live in the pool shard
     // that owns its OS page — a relocation that crossed shards would
     // silently corrupt both shards' free lists and accounting, so every
     // mt run doubles as an ownership audit.
     heap.pool().assert_shard_ownership();
+    if plan.is_some() {
+        // Full structural validation of the live heap over the orphaned
+        // state, then a whole-machine restart: a thread crash must not
+        // cost the *machine* its crash consistency, so recovery from a
+        // crash image taken after the survivors drained has to succeed
+        // and agree with the same per-shard oracle.
+        if let Err(errs) = validate_heap(&heap) {
+            panic!("thread-crash live heap validation failed: {errs:?}");
+        }
+        let image = heap.engine().crash_image();
+        let (reg, _) = mt_registry(make().registry(), threads);
+        let (heap2, _report) = DefragHeap::open_recovered(&image, reg, cfg.defrag)
+            .expect("whole-machine restart after thread crashes");
+        if let Err(errs) = validate_heap(&heap2) {
+            panic!("post-restart heap validation failed: {errs:?}");
+        }
+        check_shards_crashed(make, &heap2, &shards, &victims);
+    }
     let (avg_footprint, avg_live) = if samples.is_empty() {
         let st = heap.pool().stats();
         (st.footprint_bytes as f64, st.live_bytes as f64)
@@ -502,22 +855,122 @@ pub fn run_mt_on(
             samples.iter().map(|s| s.live as f64).sum::<f64>() / samples.len() as f64,
         )
     };
-    RunResult {
-        workload: name,
-        scheme: heap.scheme(),
-        ops: total_ops,
-        avg_footprint,
-        avg_live,
-        avg_frag: if avg_live > 0.0 {
-            avg_footprint / avg_live
-        } else {
-            1.0
+    ThreadCrashOutcome {
+        result: RunResult {
+            workload: name,
+            scheme: heap.scheme(),
+            ops: total_ops,
+            avg_footprint,
+            avg_live,
+            avg_frag: if avg_live > 0.0 {
+                avg_footprint / avg_live
+            } else {
+                1.0
+            },
+            app_cycles,
+            gc_driver_cycles: gc_cycles,
+            gc: heap.gc_stats(),
+            samples,
+            latency: (0, 0, 0, 0),
         },
-        app_cycles,
-        gc_driver_cycles: gc_cycles,
-        gc: heap.gc_stats(),
-        samples,
-        latency: (0, 0, 0, 0),
+        victims,
+        events_per_thread,
+    }
+}
+
+/// [`check_shards`] for a thread-crash run: survivor shards are checked
+/// strictly, while a victim shard killed *inside* a structure op gets the
+/// one admissible ambiguity — the in-flight op either fully happened or
+/// fully didn't. Workloads implementing [`Workload::decide_inflight`]
+/// (detectable structures) forfeit the ambiguity: the checker asks the
+/// structure which way the op went and validates that exact key set.
+fn check_shards_crashed(
+    make: &dyn Fn() -> Box<dyn Workload>,
+    heap: &DefragHeap,
+    shards: &[(BTreeSet<u64>, Vec<OpRecord>)],
+    victims: &[VictimReport],
+) {
+    for (tid, (live, oplog)) in shards.iter().enumerate() {
+        let mut expected: BTreeSet<u64> = BTreeSet::new();
+        for r in oplog {
+            if r.insert {
+                assert!(
+                    expected.insert(r.key),
+                    "thread {tid}: duplicate insert of key {:#x}",
+                    r.key
+                );
+            } else {
+                assert!(
+                    r.found,
+                    "thread {tid}: delete missed live key {:#x} (cross-thread corruption)",
+                    r.key
+                );
+                assert!(
+                    expected.remove(&r.key),
+                    "thread {tid}: delete of never-inserted key {:#x}",
+                    r.key
+                );
+            }
+        }
+        assert_eq!(
+            &expected, live,
+            "thread {tid}: op log disagrees with the thread's live set"
+        );
+        let mut ctx = heap.ctx();
+        ctx.set_root_shard(Some(tid as u64));
+        let mut w = make();
+        w.reopen(heap, &mut ctx);
+        let inflight = victims
+            .iter()
+            .find(|v| v.victim == tid && v.fired)
+            .and_then(|v| v.inflight);
+        match inflight {
+            None => {
+                // Survivor, or victim that died between ops / in the GC
+                // pump: the logged set is exact.
+                w.validate(heap, &mut ctx, &expected)
+                    .unwrap_or_else(|e| panic!("thread-crash checker, thread {tid} (exact): {e}"));
+            }
+            Some((insert, key)) => {
+                let mut alt = expected.clone();
+                if insert {
+                    alt.insert(key);
+                } else {
+                    alt.remove(&key);
+                }
+                match w.decide_inflight(heap, &mut ctx, key, insert) {
+                    Some(true) => {
+                        w.validate(heap, &mut ctx, &alt).unwrap_or_else(|e| {
+                            panic!(
+                                "thread-crash checker, thread {tid}: structure decided the \
+                                 in-flight op on key {key:#x} completed, but the completed \
+                                 set does not validate: {e}"
+                            )
+                        });
+                    }
+                    Some(false) => {
+                        w.validate(heap, &mut ctx, &expected).unwrap_or_else(|e| {
+                            panic!(
+                                "thread-crash checker, thread {tid}: structure decided the \
+                                 in-flight op on key {key:#x} did not complete, but the \
+                                 pre-op set does not validate: {e}"
+                            )
+                        });
+                    }
+                    None => {
+                        let pre = w.validate(heap, &mut ctx, &expected);
+                        let post = w.validate(heap, &mut ctx, &alt);
+                        if pre.is_err() && post.is_err() {
+                            panic!(
+                                "thread-crash checker, thread {tid}: shard matches neither \
+                                 the pre-op nor the post-op key set for in-flight key \
+                                 {key:#x}: pre={pre:?} post={post:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

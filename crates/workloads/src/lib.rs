@@ -27,9 +27,12 @@ pub mod nested;
 pub mod par;
 pub mod util;
 
+pub mod thread_crash;
+
 mod avl;
 mod btree;
 mod bztree;
+mod detectable_queue;
 mod echo;
 mod fptree;
 mod linked_list;
@@ -42,6 +45,7 @@ mod workload;
 pub use avl::AvlTree;
 pub use btree::BplusTree;
 pub use bztree::BzTree;
+pub use detectable_queue::DetectableQueue;
 pub use echo::Echo;
 pub use fptree::FpTree;
 pub use linked_list::LinkedList;

@@ -52,6 +52,28 @@ pub trait Workload: Send {
         ctx: &mut Ctx,
         expected: &BTreeSet<u64>,
     ) -> Result<(), String>;
+
+    /// For a *detectable* structure: decide whether the operation
+    /// `(insert, key)` that a crashed thread died inside logically
+    /// completed. `Some(true)` — the op took effect and must be in the
+    /// stored set; `Some(false)` — it did not. The default `None` keeps
+    /// the classic ambiguity: the thread-crash checker then accepts
+    /// either the pre-op or the post-op key set.
+    ///
+    /// Called after [`Workload::reopen`] on a freshly constructed
+    /// instance, against either the live heap (survivors drained) or a
+    /// recovered heap — a detectable answer must be derivable purely
+    /// from persistent state.
+    fn decide_inflight(
+        &mut self,
+        heap: &DefragHeap,
+        ctx: &mut Ctx,
+        key: u64,
+        insert: bool,
+    ) -> Option<bool> {
+        let _ = (heap, ctx, key, insert);
+        None
+    }
 }
 
 /// Shared helper: compare a collected key set against the expected one.

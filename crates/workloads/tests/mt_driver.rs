@@ -19,7 +19,9 @@ use std::time::Duration;
 
 use ffccd::{DefragHeap, Scheme};
 use ffccd_pmem::Ctx;
-use ffccd_workloads::driver::{run, run_mt, DriverConfig, MtSchedule, PhaseMix, RunResult};
+use ffccd_workloads::driver::{
+    run, run_mt, run_mt_faulted, DriverConfig, MtSchedule, PhaseMix, RunResult, ThreadFaultPlan,
+};
 use ffccd_workloads::{LinkedList, Workload};
 
 fn tiny_cfg(scheme: Scheme) -> DriverConfig {
@@ -288,6 +290,37 @@ fn free_running_mt_passes_with_fastpath() {
         assert_eq!(r.ops, 1300 / threads as u64 * threads as u64);
         assert!(r.gc.barrier_invocations > 0, "barriers fired");
         assert!(r.gc.objects_relocated > 0, "relocations happened");
+    }
+}
+
+/// Free-running thread-crash round: one of four racing mutators dies at an
+/// early durability-event ordinal while the survivors keep racing — no
+/// turn scheduler, so every interleaving of the death against the other
+/// mutators and the GC pump is fair game. The full checker suite, heap
+/// validation and the crash-image restart all run inside
+/// `run_mt_faulted`; the kill site sits low (an eighth of a reference
+/// run's cheapest thread) so it fires despite free-running event-count
+/// variance.
+#[test]
+fn free_running_kill_one_of_four_survivors_drain() {
+    for scheme in [Scheme::Sfccd, Scheme::FfccdFenceFree] {
+        let mut cfg = tiny_cfg(scheme);
+        cfg.mt.schedule = MtSchedule::Free;
+        let make = || Box::new(LinkedList::new()) as Box<dyn Workload>;
+        let reference = run_mt_faulted(&make, 4, &cfg, &ThreadFaultPlan::default());
+        let site = (reference.events_per_thread.iter().min().copied().unwrap() / 8).max(1);
+        let plan = ThreadFaultPlan::single(1, site);
+        let out = run_mt_faulted(&make, 4, &cfg, &plan);
+        let v = out
+            .victims
+            .iter()
+            .find(|v| v.victim == 1)
+            .expect("victim report");
+        assert!(v.fired, "{scheme}: early kill site must fire");
+        assert!(
+            out.result.ops < reference.result.ops,
+            "{scheme}: the dead thread's slice stays unfinished"
+        );
     }
 }
 

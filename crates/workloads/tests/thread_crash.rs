@@ -1,0 +1,262 @@
+//! Thread-crash fault-model integration tests (§7.1e).
+//!
+//! [`run_mt_faulted`] kills chosen mutator threads at durability-event
+//! ordinals while survivors drain, then runs the full checker suite and a
+//! whole-machine restart. These tests pin the model's contracts: kills
+//! fire and replay deterministically under the seeded schedule, orphaned
+//! counter state conserves, mutator registration never leaks, a dead
+//! thread's arena returns to service, and the sharded heap's persisted
+//! shard count survives a victim dying inside the collector.
+
+use ffccd::{DefragHeap, Scheme};
+use ffccd_pmem::MachineConfig;
+use ffccd_pmop::PoolConfig;
+use ffccd_workloads::driver::{
+    mt_registry, run_mt_faulted, run_mt_faulted_on, DriverConfig, MtConfig, MtSchedule, PhaseMix,
+    ThreadFaultPlan,
+};
+use ffccd_workloads::thread_crash::{
+    campaign_config, run_thread_crash_campaign, ThreadCrashSettings,
+};
+use ffccd_workloads::{DetectableQueue, LinkedList, Workload};
+
+const THREADS: usize = 4;
+
+/// Seeded, single-bank config: kill ordinals are a pure function of the
+/// seed, so every test here replays byte-identically.
+fn crash_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
+    let mut cfg = DriverConfig::new(scheme);
+    cfg.mix = PhaseMix::tiny();
+    cfg.pool.data_bytes = 8 << 20;
+    cfg.pool.machine.banks = 1;
+    cfg.seed = seed;
+    cfg.pool.machine.seed = seed;
+    cfg.defrag.min_live_bytes = 1 << 12;
+    cfg.defrag.cooldown_ops = 64;
+    cfg.mt = MtConfig {
+        schedule: MtSchedule::Seeded(seed ^ 0xAB1E),
+        counter_flush_every: None,
+    };
+    cfg
+}
+
+fn ll() -> Box<dyn Workload> {
+    Box::new(LinkedList::new())
+}
+
+fn dq() -> Box<dyn Workload> {
+    Box::new(DetectableQueue::new())
+}
+
+/// Reference run (empty plan) measures per-thread durability-event totals
+/// without killing anyone; every planned-kill test samples inside them.
+fn reference_events(scheme: Scheme, seed: u64) -> Vec<u64> {
+    let cfg = crash_cfg(scheme, seed);
+    let out = run_mt_faulted(&ll, THREADS, &cfg, &ThreadFaultPlan::default());
+    assert!(out.victims.is_empty(), "empty plan must kill nobody");
+    assert_eq!(out.events_per_thread.len(), THREADS);
+    for (tid, &e) in out.events_per_thread.iter().enumerate() {
+        assert!(e > 0, "thread {tid} observed no durability events");
+    }
+    out.events_per_thread
+}
+
+#[test]
+fn single_kill_fires_and_full_checker_suite_passes() {
+    let seed = 0x5EED;
+    let events = reference_events(Scheme::FfccdFenceFree, seed);
+    let cfg = crash_cfg(Scheme::FfccdFenceFree, seed);
+    let plan = ThreadFaultPlan::single(2, events[2] / 2);
+    let out = run_mt_faulted(&ll, THREADS, &cfg, &plan);
+    let v = out.victims.iter().find(|v| v.victim == 2).expect("report");
+    assert!(v.fired, "mid-range kill site must fire");
+    assert_eq!(v.kill_site, events[2] / 2, "fired at the planned ordinal");
+    assert!(
+        (v.ops_completed as usize) < out.result.ops as usize,
+        "victim stopped short of its slice"
+    );
+}
+
+#[test]
+fn seeded_kills_replay_identically() {
+    let seed = 0xD00D;
+    let events = reference_events(Scheme::FfccdCheckLookup, seed);
+    let cfg = crash_cfg(Scheme::FfccdCheckLookup, seed);
+    let plan = ThreadFaultPlan::single(1, events[1] / 3);
+    let a = run_mt_faulted(&ll, THREADS, &cfg, &plan);
+    let b = run_mt_faulted(&ll, THREADS, &cfg, &plan);
+    assert_eq!(a.victims, b.victims, "victim reports replay");
+    assert_eq!(a.result.ops, b.result.ops, "op totals replay");
+    assert_eq!(a.result.app_cycles, b.result.app_cycles, "cycles replay");
+    assert_eq!(a.result.gc, b.result.gc, "gc stats replay");
+    assert_eq!(
+        a.events_per_thread, b.events_per_thread,
+        "event ordinal streams replay"
+    );
+}
+
+/// Satellite: counter conservation across thread death. The kill ordinal
+/// counts engine durability events — host-side counter batching must not
+/// shift it, and the orphaned deltas a dead thread leaves behind must be
+/// absorbed so totals match a run that flushed every op.
+#[test]
+fn killed_run_conserves_counters_across_flush_cadence() {
+    let seed = 0xCAFE;
+    let events = reference_events(Scheme::FfccdFenceFree, seed);
+    let plan = ThreadFaultPlan::single(0, events[0] / 2);
+    let mut eager = crash_cfg(Scheme::FfccdFenceFree, seed);
+    eager.mt.counter_flush_every = Some(1);
+    let mut batched = crash_cfg(Scheme::FfccdFenceFree, seed);
+    batched.mt.counter_flush_every = Some(64);
+    let a = run_mt_faulted(&ll, THREADS, &eager, &plan);
+    let b = run_mt_faulted(&ll, THREADS, &batched, &plan);
+    assert_eq!(a.victims, b.victims, "kill unaffected by flush cadence");
+    assert_eq!(
+        a.result.gc, b.result.gc,
+        "gc counter totals conserve whether the victim flushed per-op or died with 63 ops batched"
+    );
+    assert_eq!(a.result.app_cycles, b.result.app_cycles, "cycles conserve");
+}
+
+/// Satellite: a dead thread's arena frames return to service. After the
+/// victim dies, survivors must be able to allocate through the retired
+/// arena's frames instead of spinning on work stealing from a dead owner;
+/// the run passing its own checkers plus the pool ownership audit pins it.
+#[test]
+fn victim_arena_is_retired_and_survivors_drain() {
+    let seed = 0xA4E4A;
+    let events = reference_events(Scheme::Sfccd, seed);
+    let cfg = crash_cfg(Scheme::Sfccd, seed);
+    // Kill two of four threads in one run — only survivors 1 and 3 drain.
+    let mut plan = ThreadFaultPlan::single(0, events[0] / 2);
+    plan.kills.push(ffccd_workloads::driver::ThreadKill {
+        victim: 2,
+        kill_site: events[2] / 4,
+    });
+    let out = run_mt_faulted(&ll, THREADS, &cfg, &plan);
+    let fired = out.victims.iter().filter(|v| v.fired).count();
+    assert_eq!(fired, 2, "both planned kills fire");
+}
+
+/// The detectable queue forfeits the in-flight ambiguity: its checker
+/// decision is exercised end-to-end by a campaign cell, which must come
+/// back clean.
+#[test]
+fn detectable_queue_campaign_cell_is_clean() {
+    let settings = ThreadCrashSettings::smoke(0x9_5EED);
+    let report = run_thread_crash_campaign(&dq, Scheme::FfccdFenceFree, &settings);
+    assert!(
+        report.failures.is_empty(),
+        "DQ thread-crash failures: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.triple())
+            .collect::<Vec<_>>()
+    );
+    assert!(report.kills_fired > 0, "smoke cell must fire kills");
+}
+
+/// Regression (§7.1e campaign find #1): a victim dying inside the summary
+/// phase — after persisting frag bits and PMFT entries, before the
+/// volatile arm — must leave residue that is *inert* to the surviving
+/// mutators' barriers. The software barrier path (Espresso/SFCCD/fence-
+/// free) used to trust the persistent frag bit + PMFT alone; once a later
+/// cycle armed on the same shard, survivors relocated live objects through
+/// the dead summary's half-built mapping into a destination frame the
+/// exit-time rollback then rightly released — leaving reachable pointers
+/// into a free frame. The barrier now requires the frame to be indexed by
+/// its domain's armed cycle mirror.
+#[test]
+fn orphaned_summary_residue_is_inert_to_barriers() {
+    // The 1-minimal campaign triples that exposed the bug, one per
+    // affected fate discipline.
+    for (scheme, seed, victim, site) in [
+        (Scheme::Sfccd, 0x7c4a01, 0usize, 2681u64),
+        (Scheme::Espresso, 0x7c4a00, 0, 11475),
+    ] {
+        let cfg = campaign_config(scheme, seed);
+        let plan = ThreadFaultPlan::single(victim, site);
+        let out = run_mt_faulted(&ll, THREADS, &cfg, &plan);
+        assert!(out.victims[0].fired, "{scheme}: pinned kill fires");
+    }
+}
+
+/// Regression (§7.1e campaign find #2): a victim dying inside `pmalloc`'s
+/// header write used to leave slots volatile-allocated behind a stale
+/// garbage header; the next sweep freed the unreachable object *by that
+/// header*, and a garbage size large enough took the huge-free path and
+/// zeroed bitmap records past the end of the pool. The allocator now rolls
+/// the volatile reservation back on unwind (and the huge-free path bounds-
+/// checks header-derived spans).
+#[test]
+fn allocation_torn_by_thread_death_is_rolled_back() {
+    let cfg = campaign_config(Scheme::FfccdCheckLookup, 0x7c4a14);
+    let plan = ThreadFaultPlan::single(2, 7428);
+    let out = run_mt_faulted(&dq, THREADS, &cfg, &plan);
+    let v = &out.victims[0];
+    assert!(v.fired, "pinned kill fires");
+    assert!(
+        v.inflight.is_some(),
+        "the pinned victim dies inside a queue op (allocation path)"
+    );
+}
+
+/// Satellite: the persisted shard count wins at reopen even when a victim
+/// died while the collector was running on a non-zero shard. The restart
+/// inside `run_mt_faulted` validates recovery; this pins the reopened
+/// topology and a deterministic fingerprint of the recovered key sets for
+/// one fixed `(seed, kill_site, victim)` triple.
+#[test]
+fn shard_header_reopen_after_thread_crash() {
+    let seed = 0x5AA4D;
+    let shards = 4usize;
+    let mut cfg = crash_cfg(Scheme::FfccdFenceFree, seed);
+    cfg.defrag.shards = shards;
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let (reg, _) = mt_registry(ll().registry(), THREADS);
+    let heap = DefragHeap::create(pool_cfg, reg, cfg.defrag).expect("sharded pool");
+    let reference = run_mt_faulted_on(&ll, THREADS, &cfg, &heap, &ThreadFaultPlan::default());
+    drop(heap);
+    let plan = ThreadFaultPlan::single(3, reference.events_per_thread[3] / 2);
+    let pool_cfg = PoolConfig {
+        machine: MachineConfig {
+            seed,
+            ..cfg.pool.machine.clone()
+        },
+        ..cfg.pool.clone()
+    };
+    let (reg, _) = mt_registry(ll().registry(), THREADS);
+    let heap = DefragHeap::create(pool_cfg, reg, cfg.defrag).expect("sharded pool");
+    let out = run_mt_faulted_on(&ll, THREADS, &cfg, &heap, &plan);
+    assert!(out.victims[0].fired, "pinned kill fires");
+    assert_eq!(heap.num_shards(), shards, "live heap keeps its shards");
+    // Reopen from a crash image of the post-run heap: the persisted
+    // HDR_SHARDS count must win, and the recovered per-shard key sets
+    // must fingerprint identically across runs and machines.
+    let image = heap.engine().crash_image();
+    let (reg, _) = mt_registry(ll().registry(), THREADS);
+    let (heap2, _) =
+        DefragHeap::open_recovered(&image, reg, cfg.defrag).expect("reopen sharded heap");
+    assert_eq!(
+        heap2.num_shards(),
+        shards,
+        "persisted shard count wins at reopen after a thread crash"
+    );
+    // Deterministic fingerprint of the recovered heap: the reachable
+    // object graph after restart is a pure function of the pinned
+    // `(seed, kill_site, victim)` triple, so the validation summary must
+    // never drift.
+    let summary = ffccd::validate_heap(&heap2).expect("recovered heap validates");
+    assert_eq!(
+        (summary.reachable_objects, summary.reachable_bytes),
+        (126, 25648),
+        "recovered-heap fingerprint drifted for the pinned kill triple"
+    );
+}
